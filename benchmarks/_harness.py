@@ -1,0 +1,15 @@
+"""Helpers shared by the experiment benchmarks."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def record_table(name: str, table) -> None:
+    """Print a MeasurementTable and persist it under benchmarks/results/."""
+    text = table.render()
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,93 @@
+"""E2 — Theorem 3 on bounded-arboricity graphs.
+
+Paper claim: (edge-degree+1)-edge colouring can be solved in
+``O(a + log^{12/13} n)`` rounds on graphs of arboricity ``a ≤ 2^{log^{1/13} n}``;
+in particular in ``O(log^{12/13} n)`` rounds on planar graphs.
+
+What this benchmark regenerates: measured rounds of the Theorem 15 pipeline
+on planar graphs (grids, random Apollonian triangulations) and unions of
+``a`` forests for ``a ∈ {1, 2, 3, 4}``, showing the additive dependence on
+``a`` (the star-collection phase) and the validity of every output.
+"""
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import MeasurementTable
+from repro.baselines import EdgeColoringAlgorithm
+from repro.core import solve_on_bounded_arboricity
+from repro.generators import forest_union, grid_graph, planar_triangulation_like
+from repro.problems.classic import is_edge_degree_plus_one_coloring
+
+
+def run_instance(graph, arboricity):
+    result = solve_on_bounded_arboricity(graph, arboricity, EdgeColoringAlgorithm())
+    assert result.verification.ok
+    assert is_edge_degree_plus_one_coloring(graph, dict(result.classic))
+    return result
+
+
+def test_e2_report():
+    table = MeasurementTable(
+        "E2: (edge-degree+1)-edge colouring on bounded-arboricity graphs (Theorem 3)",
+        [
+            "instance",
+            "n",
+            "m",
+            "a",
+            "k",
+            "peel iterations",
+            "star-phase rounds",
+            "total rounds",
+        ],
+    )
+    instances = [
+        ("grid 15x15", grid_graph(15, 15), 2),
+        ("grid 25x25", grid_graph(25, 25), 2),
+        ("planar n=200", planar_triangulation_like(200, seed=1), 3),
+        ("planar n=600", planar_triangulation_like(600, seed=2), 3),
+        ("1 forest, n=400", forest_union(400, 1, seed=3), 1),
+        ("2 forests, n=400", forest_union(400, 2, seed=3), 2),
+        ("3 forests, n=400", forest_union(400, 3, seed=3), 3),
+        ("4 forests, n=400", forest_union(400, 4, seed=3), 4),
+    ]
+    for name, graph, arboricity in instances:
+        result = run_instance(graph, arboricity)
+        table.add_row(
+            name,
+            graph.number_of_nodes(),
+            graph.number_of_edges(),
+            arboricity,
+            result.k,
+            result.details["iterations"],
+            result.ledger.breakdown()["star collections (gather & solve)"],
+            result.rounds,
+        )
+    record_table("e2_edge_coloring_arboricity", table)
+
+
+def test_e2_star_phase_grows_linearly_with_arboricity():
+    """The `a` term of Theorem 15: the finishing phase costs Θ(a) rounds."""
+    rounds = {}
+    for arboricity in (1, 2, 4):
+        graph = forest_union(300, arboricity, seed=5)
+        result = run_instance(graph, arboricity)
+        rounds[arboricity] = result.ledger.breakdown()[
+            "star collections (gather & solve)"
+        ]
+    assert rounds[2] == 2 * rounds[1]
+    assert rounds[4] == 4 * rounds[1]
+
+
+@pytest.mark.parametrize(
+    "maker,arboricity",
+    [
+        (lambda: grid_graph(15, 15), 2),
+        (lambda: planar_triangulation_like(300, seed=9), 3),
+    ],
+    ids=["grid", "planar"],
+)
+def test_e2_benchmark_bounded_arboricity(benchmark, maker, arboricity):
+    graph = maker()
+    result = benchmark(lambda: run_instance(graph, arboricity))
+    assert result.rounds > 0

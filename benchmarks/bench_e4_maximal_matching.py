@@ -1,0 +1,83 @@
+"""E4 — Section 5.2: maximal matching on trees via the transformation.
+
+Paper claim: combining Theorem 15 with the ``O(Δ + log* n)`` maximal
+matching algorithm of [PR01] re-derives, in a generic manner, the tight
+``O(log n / log log n)`` upper bound for maximal matching on trees [BE13].
+
+What this benchmark regenerates: measured rounds of the Theorem 15 pipeline
+for maximal matching over a sweep of trees and bounded-arboricity graphs,
+the Lemma 17 sequential solver in isolation, and the reference
+``log n / log log n`` curve.
+"""
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import MeasurementTable
+from repro.baselines import MaximalMatchingAlgorithm, maximal_matching
+from repro.core import solve_on_bounded_arboricity
+from repro.core.complexity import mm_mis_tree_bound
+from repro.generators import balanced_regular_tree, forest_union, random_tree
+from repro.problems.classic import is_maximal_matching
+
+
+def run_instance(graph, arboricity=1):
+    result = solve_on_bounded_arboricity(graph, arboricity, MaximalMatchingAlgorithm())
+    assert result.verification.ok
+    assert is_maximal_matching(graph, [tuple(e) for e in result.classic])
+    return result
+
+
+def test_e4_report():
+    table = MeasurementTable(
+        "E4: maximal matching via Theorem 15 (reproducing the O(log n / log log n) bound)",
+        [
+            "instance",
+            "n",
+            "a",
+            "k",
+            "matching size",
+            "total rounds",
+            "direct truly-local rounds",
+            "log n / log log n",
+        ],
+    )
+    instances = [
+        ("random tree", random_tree(300, seed=51), 1),
+        ("random tree", random_tree(1000, seed=52), 1),
+        ("random tree", random_tree(3000, seed=53), 1),
+        ("4-regular balanced", balanced_regular_tree(4, 5), 1),
+        ("2 forests, n=500", forest_union(500, 2, seed=54), 2),
+        ("3 forests, n=500", forest_union(500, 3, seed=55), 3),
+    ]
+    for name, graph, arboricity in instances:
+        result = run_instance(graph, arboricity)
+        direct = maximal_matching(graph).rounds
+        table.add_row(
+            name,
+            graph.number_of_nodes(),
+            arboricity,
+            result.k,
+            len(result.classic),
+            result.rounds,
+            direct,
+            round(mm_mis_tree_bound(graph.number_of_nodes()), 1),
+        )
+    record_table("e4_maximal_matching", table)
+
+
+def test_e4_matching_size_at_least_half_of_maximum():
+    """Any maximal matching is a 2-approximation of the maximum matching."""
+    import networkx as nx
+
+    tree = random_tree(500, seed=61)
+    result = run_instance(tree)
+    maximum = len(nx.max_weight_matching(tree, maxcardinality=True))
+    assert len(result.classic) >= maximum / 2
+
+
+@pytest.mark.parametrize("n", [300, 1000])
+def test_e4_benchmark_transformed_matching(benchmark, n):
+    tree = random_tree(n, seed=71)
+    result = benchmark(lambda: run_instance(tree))
+    assert result.rounds > 0

@@ -1,0 +1,83 @@
+"""E7 — the transformation's inputs: truly local algorithms scale with Δ, not n.
+
+Paper context: the transformation consumes algorithms with a runtime of
+``O(f(Δ) + log* n)`` rounds.  This experiment verifies that the implemented
+baselines actually have that shape: their measured round counts are flat in
+``n`` (up to the log*-term) and grow with Δ.
+
+What this benchmark regenerates:
+
+* an n-sweep at fixed maximum degree (rounds stay essentially constant), and
+* a Δ-sweep at fixed n (rounds grow polynomially in Δ),
+
+for the four baselines ((deg+1)-colouring, (edge-degree+1)-edge colouring,
+MIS, maximal matching).
+"""
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import MeasurementTable
+from repro.baselines import (
+    deg_plus_one_coloring,
+    edge_degree_plus_one_coloring,
+    maximal_independent_set,
+    maximal_matching,
+)
+from repro.core.complexity import log_star
+from repro.generators import random_graph_with_max_degree, random_tree
+
+BASELINES = {
+    "(deg+1)-colouring": lambda g: deg_plus_one_coloring(g).rounds,
+    "(edge-degree+1)-edge colouring": lambda g: edge_degree_plus_one_coloring(g).rounds,
+    "MIS": lambda g: maximal_independent_set(g).rounds,
+    "maximal matching": lambda g: maximal_matching(g).rounds,
+}
+
+
+def test_e7_n_sweep_report():
+    table = MeasurementTable(
+        "E7a: truly local baselines, n-sweep at max degree 4 (rounds ~ f(4) + log* n)",
+        ["n", "log* n"] + list(BASELINES),
+    )
+    for n in (100, 400, 1600):
+        graph = random_graph_with_max_degree(n, 4, seed=7)
+        row = [n, log_star(n)]
+        for runner in BASELINES.values():
+            row.append(runner(graph))
+        table.add_row(*row)
+    record_table("e7_n_sweep", table)
+
+
+def test_e7_degree_sweep_report():
+    table = MeasurementTable(
+        "E7b: truly local baselines, Δ-sweep at n=300 (rounds grow with Δ)",
+        ["max degree"] + list(BASELINES),
+    )
+    rows = {}
+    for delta in (3, 6, 12):
+        graph = random_graph_with_max_degree(300, delta, seed=13)
+        row = [delta]
+        for name, runner in BASELINES.items():
+            rounds = runner(graph)
+            row.append(rounds)
+            rows.setdefault(name, []).append(rounds)
+        table.add_row(*row)
+    record_table("e7_degree_sweep", table)
+    for name, values in rows.items():
+        assert values[-1] > values[0], f"{name} rounds should grow with the degree"
+
+
+def test_e7_rounds_flat_in_n_on_paths():
+    import networkx as nx
+
+    rounds = [maximal_independent_set(nx.path_graph(n)).rounds for n in (100, 1000)]
+    # Identical maximum degree: only the log*-term may differ.
+    assert abs(rounds[1] - rounds[0]) <= 3
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_e7_benchmark_baselines(benchmark, name):
+    graph = random_graph_with_max_degree(400, 6, seed=17)
+    rounds = benchmark(lambda: BASELINES[name](graph))
+    assert rounds > 0

@@ -1,0 +1,111 @@
+"""E8 — the complexity model: g(n), the Theorem 1 predictions and the separation.
+
+Paper context ("Concrete implications", Section 1.1): plugging the best
+known truly local complexities into the transformation yields
+
+* ``f(Δ) = Θ(Δ)`` (MIS, maximal matching) → ``Θ(log n / log log n)`` on trees,
+* ``f(Δ) = O(√Δ log Δ)`` ((Δ+1)-colouring) → no improvement over [BE10] yet,
+* ``f(Δ) = O(log^{12} Δ)`` ((edge-degree+1)-edge colouring) →
+  ``O(log^{12/13} n)`` on trees — Theorem 3 and the separation from the
+  ``Ω(log n / log log n)`` problems.
+
+What this benchmark regenerates:
+
+* a table of ``g(n)`` and ``f(g(n))`` for the complexity functions above,
+* the asymptotic (log-space) comparison against the barrier, locating the
+  crossover, and
+* the fitted growth exponent of the log^12-based prediction, which must be
+  12/13 ≈ 0.923.
+"""
+
+import math
+
+import pytest
+
+from _harness import record_table
+from repro.analysis import MeasurementTable
+from repro.core.complexity import (
+    linear,
+    log_star,
+    mm_mis_tree_bound_from_log2,
+    polylog,
+    predicted_rounds_tree_from_log2,
+    solve_g,
+    solve_g_from_log2,
+    sqrt_delta_log,
+)
+
+COMPLEXITIES = {
+    "f=Δ (MIS/matching)": linear(),
+    "f=√Δ·logΔ (Δ+1 colouring)": sqrt_delta_log(),
+    "f=log²Δ (hypothetical)": polylog(2),
+    "f=log¹²Δ (BBKO22b edge colouring)": polylog(12),
+}
+
+
+def test_e8_g_table():
+    table = MeasurementTable(
+        "E8a: the function g(n) with g^{f(g)} = n, and the induced bound f(g(n))",
+        ["n", "f", "g(n)", "f(g(n))", "log* n"],
+    )
+    for exponent in (10, 20, 40, 80):
+        n = 2.0**exponent
+        for name, f in COMPLEXITIES.items():
+            g = solve_g(f, n)
+            table.add_row(f"2^{exponent}", name, round(g, 2), round(f(g), 2), log_star(n))
+    record_table("e8_g_table", table)
+
+
+def test_e8_separation_report():
+    table = MeasurementTable(
+        "E8b: Theorem 1 predictions vs the log n / log log n barrier (log-space, n = 2^L)",
+        ["L = log2 n", "barrier"] + list(COMPLEXITIES) + ["log^12 beats barrier?"],
+    )
+    for L in (64.0, 1e4, 1e8, 1e16, 1e24, 1e32, 1e40):
+        barrier = mm_mis_tree_bound_from_log2(L)
+        row = [f"{L:g}", round(barrier, 1)]
+        predictions = {}
+        for name, f in COMPLEXITIES.items():
+            value = predicted_rounds_tree_from_log2(f, L)
+            predictions[name] = value
+            row.append(f"{value:.3g}")
+        row.append(predictions["f=log¹²Δ (BBKO22b edge colouring)"] < barrier)
+        table.add_row(*row)
+    record_table("e8_separation", table)
+    # The separation holds in the asymptotic regime.
+    assert predicted_rounds_tree_from_log2(polylog(12), 1e40) < mm_mis_tree_bound_from_log2(1e40)
+    # The linear-f prediction tracks the barrier (same Θ-class), never beats it
+    # by more than a constant factor.
+    for L in (1e4, 1e8, 1e16):
+        ratio = predicted_rounds_tree_from_log2(linear(), L) / mm_mis_tree_bound_from_log2(L)
+        assert 0.5 <= ratio <= 3.0
+
+
+def test_e8_growth_exponent_matches_twelve_thirteenths():
+    log2_ns = [float(10**e) for e in range(8, 36, 2)]
+    values = [predicted_rounds_tree_from_log2(polylog(12), L) for L in log2_ns]
+    xs = [math.log(L) for L in log2_ns]
+    ys = [math.log(v) for v in values]
+    slope = (ys[-1] - ys[0]) / (xs[-1] - xs[0])
+    assert abs(slope - 12 / 13) < 0.02
+
+
+def test_e8_concrete_implications_examples():
+    """The intro's examples: improving (Δ+1)-colouring to O(log^5 Δ) would give
+    O(log^{5/6} n) on trees; improving (2Δ-1)-edge colouring to O(log Δ) would
+    give O(√log n)."""
+    L = 1e12
+    five = predicted_rounds_tree_from_log2(polylog(5), L)
+    assert abs(math.log(five) / math.log(L) - 5 / 6) < 0.03
+    # For f = log Δ the cut-off degree is 2^sqrt(L); choose L small enough
+    # that this degree is still representable as a float.
+    L_small = 1e5
+    one = predicted_rounds_tree_from_log2(polylog(1), L_small)
+    assert abs(math.log(one) / math.log(L_small) - 1 / 2) < 0.03
+
+
+@pytest.mark.parametrize("exponent", [12, 2])
+def test_e8_benchmark_solve_g(benchmark, exponent):
+    f = polylog(exponent)
+    value = benchmark(lambda: solve_g_from_log2(f, 1e24))
+    assert value > 1.0

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (the offline environment lacks the ``wheel`` package that modern
+``pip install -e .`` requires; ``python setup.py develop`` works, but this
+fallback keeps ``pytest`` self-contained either way).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment this repository targets has no ``wheel`` package available
+(offline), so ``pip install -e .`` falls back to the legacy
+``setup.py develop`` code path, which this file enables.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro: a reproduction of *Towards Optimal Deterministic LOCAL Algorithms on Trees*.
+
+The package implements the paper's transformation from truly local
+algorithms (runtime ``O(f(Δ) + log* n)``) to algorithms on trees and
+bounded-arboricity graphs (runtime ``O(f(g(n)) + log* n)`` where
+``g^{f(g)} = n``), together with every substrate it relies on: semi-graphs
+and the node-edge-checkability formalism, a synchronous LOCAL-model
+simulator, truly local baseline algorithms, and the two decomposition
+processes (rake-and-compress and the bounded-arboricity Decomposition).
+
+Typical usage::
+
+    from repro.baselines import EdgeColoringAlgorithm
+    from repro.core import solve_on_bounded_arboricity
+    from repro.generators import random_tree
+
+    tree = random_tree(500, seed=1)
+    result = solve_on_bounded_arboricity(tree, arboricity=1,
+                                         algorithm=EdgeColoringAlgorithm())
+    assert result.verification.ok
+    print(result.rounds, result.ledger.breakdown())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

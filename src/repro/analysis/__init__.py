@@ -1,0 +1,18 @@
+"""Measurement records, table formatting and growth-curve fitting.
+
+The experiment harness (``benchmarks/``) produces per-instance
+:class:`Measurement` records; this package turns them into the text tables
+recorded in EXPERIMENTS.md and fits simple growth models (``log n``,
+``log n / log log n``, ``log^β n``) to measured round counts so that the
+*shape* claims of the paper can be checked quantitatively.
+"""
+
+from repro.analysis.measurement import Measurement, MeasurementTable
+from repro.analysis.curves import fit_power_of_log, growth_exponent
+
+__all__ = [
+    "Measurement",
+    "MeasurementTable",
+    "fit_power_of_log",
+    "growth_exponent",
+]

@@ -1,0 +1,38 @@
+"""Simple growth-curve fits used to check the paper's shape claims.
+
+The key quantitative claim of Theorem 3 is that the transformed edge
+colouring runs in ``O(log^{12/13} n)`` rounds, i.e. in ``O(log^β n)``
+rounds for a constant ``β < 1`` ("strongly sublogarithmic"), while MIS and
+maximal matching are stuck at ``Θ(log n / log log n)``.  The fits below
+estimate ``β`` from measured or predicted round counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def fit_power_of_log(ns: Sequence[float], values: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``value ≈ c · (log₂ n)^β``.
+
+    Returns ``(beta, c)``.  Points with ``n ≤ 2`` or non-positive values
+    are ignored.
+    """
+    xs, ys = [], []
+    for n, value in zip(ns, values):
+        if n > 2 and value > 0:
+            xs.append(math.log(math.log2(n)))
+            ys.append(math.log(value))
+    if len(xs) < 2:
+        raise ValueError("need at least two usable data points to fit a curve")
+    slope, intercept = np.polyfit(np.array(xs), np.array(ys), 1)
+    return float(slope), float(math.exp(intercept))
+
+
+def growth_exponent(ns: Sequence[float], values: Sequence[float]) -> float:
+    """The fitted exponent ``β`` of ``value ≈ c · (log₂ n)^β``."""
+    beta, _ = fit_power_of_log(ns, values)
+    return beta

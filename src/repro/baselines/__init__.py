@@ -1,0 +1,57 @@
+"""Truly local baseline algorithms: the inputs of the transformation.
+
+The transformation of the paper consumes an algorithm ``A`` for a problem
+``Π`` with a round complexity of ``O(f(Δ) + log* n)``.  This package
+implements such algorithms from first principles:
+
+* :mod:`repro.baselines.forest_coloring` — Cole–Vishkin / GPS87
+  3-colouring of rooted forests in ``O(log* n)`` rounds (used both as a
+  stand-alone subroutine of Algorithm 4 and inside the other baselines);
+* :mod:`repro.baselines.linial` — Linial's colour reduction to
+  ``O(Δ²)`` colours in ``O(log* n)`` rounds on general graphs;
+* :mod:`repro.baselines.color_reduction` — reduction of a proper
+  ``C``-colouring to a (deg+1)-colouring in ``C`` additional rounds;
+* :mod:`repro.baselines.coloring` — the combined (deg+1)- and
+  (Δ+1)-colouring algorithms, ``O(Δ² + log* n)`` rounds;
+* :mod:`repro.baselines.edge_coloring` — (edge-degree+1)-edge colouring via
+  the line graph, ``O(Δ² + log* n)`` rounds;
+* :mod:`repro.baselines.mis` and :mod:`repro.baselines.matching` — MIS and
+  maximal matching by colour-class sweeps, ``O(Δ² + log* n)`` rounds;
+* :mod:`repro.baselines.adapters` — wrappers exposing the baselines through
+  the :class:`TrulyLocalAlgorithm` interface consumed by the
+  transformation, together with declared complexity functions ``f``.
+
+All message-passing subroutines run on the synchronous simulator of
+:mod:`repro.local`; their measured round counts are what the experiment
+harness reports.
+"""
+
+from repro.baselines.forest_coloring import color_forest_three
+from repro.baselines.linial import linial_coloring
+from repro.baselines.coloring import deg_plus_one_coloring
+from repro.baselines.edge_coloring import edge_degree_plus_one_coloring
+from repro.baselines.mis import maximal_independent_set
+from repro.baselines.matching import maximal_matching
+from repro.baselines.adapters import (
+    TrulyLocalAlgorithm,
+    DegPlusOneColoringAlgorithm,
+    EdgeColoringAlgorithm,
+    MISAlgorithm,
+    MaximalMatchingAlgorithm,
+    OracleCostModel,
+)
+
+__all__ = [
+    "color_forest_three",
+    "linial_coloring",
+    "deg_plus_one_coloring",
+    "edge_degree_plus_one_coloring",
+    "maximal_independent_set",
+    "maximal_matching",
+    "TrulyLocalAlgorithm",
+    "DegPlusOneColoringAlgorithm",
+    "EdgeColoringAlgorithm",
+    "MISAlgorithm",
+    "MaximalMatchingAlgorithm",
+    "OracleCostModel",
+]

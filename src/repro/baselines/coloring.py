@@ -1,0 +1,51 @@
+"""(deg+1)- and (Δ+1)-vertex colouring in ``O(Δ² + log* n)`` rounds.
+
+Pipeline: Linial colour reduction to ``O(Δ²)`` colours in ``O(log* n)``
+rounds, followed by a colour-class sweep taking one round per remaining
+colour class.  Every node's final colour is at most its degree plus one,
+so the result is simultaneously a (deg+1)- and a (Δ+1)-colouring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import networkx as nx
+
+from repro.baselines.color_reduction import reduce_to_deg_plus_one
+from repro.baselines.linial import linial_coloring
+
+
+@dataclass
+class ColoringRun:
+    """Outcome of a truly local colouring run."""
+
+    colours: dict
+    rounds: int
+    linial_rounds: int
+    sweep_rounds: int
+    palette_after_linial: int
+
+
+def deg_plus_one_coloring(
+    graph: nx.Graph, identifiers: Mapping[Hashable, int] | None = None
+) -> ColoringRun:
+    """Colour ``graph`` properly with each colour at most ``deg + 1``.
+
+    Round complexity: ``O(Δ² + log* n)`` — the measured breakdown is
+    returned alongside the colouring.
+    """
+    if graph.number_of_nodes() == 0:
+        return ColoringRun({}, 0, 0, 0, 0)
+    initial, palette, linial_rounds = linial_coloring(graph, identifiers=identifiers)
+    colours, sweep_rounds = reduce_to_deg_plus_one(
+        graph, initial, palette, identifiers=identifiers
+    )
+    return ColoringRun(
+        colours=colours,
+        rounds=linial_rounds + sweep_rounds,
+        linial_rounds=linial_rounds,
+        sweep_rounds=sweep_rounds,
+        palette_after_linial=palette,
+    )

@@ -1,0 +1,31 @@
+"""Tiny prime-number utilities used by Linial's colour reduction.
+
+The field sizes needed by the reduction are of the order of ``Δ · log C``,
+i.e. small, so trial division is entirely adequate.
+"""
+
+from __future__ import annotations
+
+
+def is_prime(value: int) -> bool:
+    """Primality by trial division (intended for small values)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(value: int) -> int:
+    """The smallest prime that is at least ``value``."""
+    candidate = max(value, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate

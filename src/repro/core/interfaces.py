@@ -1,0 +1,51 @@
+"""Interfaces between the transformation and the truly local algorithms.
+
+The transformation only needs two things from the algorithm ``A`` it is
+given: a way to run it on a semi-graph and its declared complexity function
+``f`` (used to choose the cut-off ``k = g(n)``).  Keeping the interface in
+:mod:`repro.core` lets the concrete implementations live in
+:mod:`repro.baselines` without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.complexity import ComplexityFunction, log_star
+from repro.problems.base import NodeEdgeCheckableProblem
+from repro.semigraph import HalfEdgeLabeling, SemiGraph
+
+
+class TrulyLocalAlgorithm(ABC):
+    """An algorithm for ``Π`` on semi-graphs with runtime ``O(f(Δ) + log* n)``."""
+
+    #: The problem the algorithm solves.
+    problem: NodeEdgeCheckableProblem
+    #: The declared complexity function ``f``.
+    complexity: ComplexityFunction
+    #: Human-readable name used in experiment reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def solve_semigraph(self, semigraph: SemiGraph) -> tuple[HalfEdgeLabeling, int]:
+        """Solve ``Π`` on ``semigraph``; returns ``(labeling, rounds used)``."""
+
+
+@dataclass(frozen=True)
+class OracleCostModel:
+    """An analytic cost model for a black-box algorithm that is not reimplemented.
+
+    Used to reproduce the *shape* of Theorem 3: the transformation picks
+    its cut-off ``k`` from this model's complexity function (for instance
+    ``f(Δ) = log^{12} Δ`` for the [BBKO22b] edge colouring) and charges
+    ``f(Δ) + log* n`` rounds for the black-box phase, while the
+    decomposition phases remain measured on the real instance.
+    """
+
+    name: str
+    complexity: ComplexityFunction
+
+    def charged_rounds(self, max_degree: int, n: int) -> int:
+        """The rounds charged for running the black box on degree ``max_degree``."""
+        return int(round(self.complexity(max(max_degree, 1)))) + log_star(max(n, 2))

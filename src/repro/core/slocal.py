@@ -1,0 +1,262 @@
+"""The SLOCAL(1) sequential-local view of the problem classes P1 and P2.
+
+The paper (Section 1.1) characterises the problems its transformation
+applies to through the existence of *sequential 1-hop solvers*:
+
+* class **P1** (node problems): there is a sequential algorithm that, given
+  the nodes in an adversarial order, assigns the labels of all half-edges
+  incident on the current node while looking only at the node's 1-hop
+  neighbourhood (including the outputs already committed there) — and this
+  still works when the instance comes with a correct partial solution;
+* class **P2** (edge problems): the same with edges in place of nodes and
+  the 1-hop edge neighbourhood.
+
+This module makes those definitions executable: :func:`solve_node_sequential`
+and :func:`solve_edge_sequential` drive an oracle over an arbitrary
+processing order while exposing only the local view the definition allows
+(:class:`NodeView` / :class:`EdgeView`), and the provided oracles realise
+the membership of MIS, (deg+1)-colouring (P1) and maximal matching,
+(edge-degree+1)-edge colouring (P2).  The test-suite exercises them under
+adversarial (randomised) orders and on partially solved instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.problems import DUMMY
+from repro.problems.base import NodeEdgeCheckableProblem
+from repro.problems.matching import MATCHED, POINTER as MATCH_POINTER, UNMATCHED
+from repro.problems.mis import IN_MIS, OUT, POINTER as MIS_POINTER
+from repro.semigraph import HalfEdgeLabeling, SemiGraph
+from repro.semigraph.semigraph import EdgeId, HalfEdge, NodeId
+
+
+class SLocalError(RuntimeError):
+    """Raised when an oracle returns labels inconsistent with its local view."""
+
+
+# ----------------------------------------------------------------------
+# Local views
+# ----------------------------------------------------------------------
+@dataclass
+class NodeView:
+    """The 1-hop view available when a node is processed (class P1)."""
+
+    node: NodeId
+    semigraph: SemiGraph
+    labeling: HalfEdgeLabeling
+
+    def incident_edges(self) -> list[EdgeId]:
+        """The edges incident on the processed node, in a deterministic order."""
+        return sorted(self.semigraph.incident_edges(self.node), key=repr)
+
+    def rank(self, edge: EdgeId) -> int:
+        """The rank of an incident edge."""
+        return self.semigraph.rank(edge)
+
+    def neighbor(self, edge: EdgeId) -> NodeId | None:
+        """The other endpoint of an incident rank-2 edge (``None`` otherwise)."""
+        return self.semigraph.other_endpoint(edge, self.node)
+
+    def label_across(self, edge: EdgeId) -> Any:
+        """The label already committed on the far half-edge of ``edge`` (or ``None``)."""
+        other = self.neighbor(edge)
+        if other is None:
+            return None
+        return self.labeling.get(HalfEdge(other, edge))
+
+    def neighbor_labels(self, neighbor: NodeId) -> list[Any]:
+        """All labels already committed on the half-edges of a neighbour."""
+        return [
+            self.labeling[h]
+            for h in self.semigraph.half_edges_of_node(neighbor)
+            if self.labeling.is_labeled(h)
+        ]
+
+
+@dataclass
+class EdgeView:
+    """The 1-hop edge view available when an edge is processed (class P2)."""
+
+    edge: EdgeId
+    semigraph: SemiGraph
+    labeling: HalfEdgeLabeling
+
+    def endpoints(self) -> tuple:
+        """The processed edge's endpoints."""
+        return self.semigraph.endpoints(self.edge)
+
+    def rank(self) -> int:
+        """The processed edge's rank."""
+        return self.semigraph.rank(self.edge)
+
+    def endpoint_labels(self, node: NodeId) -> list[Any]:
+        """Labels already committed on the half-edges of an endpoint."""
+        return [
+            self.labeling[h]
+            for h in self.semigraph.half_edges_of_node(node)
+            if self.labeling.is_labeled(h) and h.edge != self.edge
+        ]
+
+    def adjacent_edge_labels(self) -> list[Any]:
+        """Labels already committed on half-edges of adjacent edges."""
+        labels = []
+        for node in self.endpoints():
+            labels.extend(self.endpoint_labels(node))
+        return labels
+
+
+NodeOracle = Callable[[NodeView], Mapping[EdgeId, Any]]
+EdgeOracle = Callable[[EdgeView], Mapping[NodeId, Any]]
+
+
+# ----------------------------------------------------------------------
+# Sequential drivers
+# ----------------------------------------------------------------------
+def solve_node_sequential(
+    semigraph: SemiGraph,
+    oracle: NodeOracle,
+    order: Iterable[NodeId] | None = None,
+    partial: HalfEdgeLabeling | None = None,
+) -> HalfEdgeLabeling:
+    """Run a P1-style sequential 1-hop solver.
+
+    Nodes are processed in ``order`` (default: a deterministic order); for
+    each node the oracle must return a label for every incident half-edge
+    that is not already labeled by ``partial``.
+    """
+    labeling = partial.copy() if partial is not None else HalfEdgeLabeling()
+    nodes = list(order) if order is not None else sorted(semigraph.nodes, key=repr)
+    if set(nodes) != set(semigraph.nodes):
+        raise ValueError("the processing order must cover every node exactly once")
+    for node in nodes:
+        view = NodeView(node, semigraph, labeling)
+        decisions = oracle(view)
+        for edge in semigraph.incident_edges(node):
+            half_edge = HalfEdge(node, edge)
+            if labeling.is_labeled(half_edge):
+                continue
+            if edge not in decisions:
+                raise SLocalError(
+                    f"oracle left half-edge {half_edge!r} unlabeled at node {node!r}"
+                )
+            labeling.assign(half_edge, decisions[edge])
+    return labeling
+
+
+def solve_edge_sequential(
+    semigraph: SemiGraph,
+    oracle: EdgeOracle,
+    order: Iterable[EdgeId] | None = None,
+    partial: HalfEdgeLabeling | None = None,
+) -> HalfEdgeLabeling:
+    """Run a P2-style sequential 1-hop solver (edges processed one at a time)."""
+    labeling = partial.copy() if partial is not None else HalfEdgeLabeling()
+    edges = list(order) if order is not None else sorted(semigraph.edges, key=repr)
+    if set(edges) != set(semigraph.edges):
+        raise ValueError("the processing order must cover every edge exactly once")
+    for edge in edges:
+        view = EdgeView(edge, semigraph, labeling)
+        decisions = oracle(view)
+        for node in semigraph.endpoints(edge):
+            half_edge = HalfEdge(node, edge)
+            if labeling.is_labeled(half_edge):
+                continue
+            if node not in decisions:
+                raise SLocalError(
+                    f"oracle left half-edge {half_edge!r} unlabeled at edge {edge!r}"
+                )
+            labeling.assign(half_edge, decisions[node])
+    return labeling
+
+
+# ----------------------------------------------------------------------
+# P1 oracles
+# ----------------------------------------------------------------------
+def mis_oracle(view: NodeView) -> dict[EdgeId, Any]:
+    """Greedy MIS membership decision from the 1-hop view."""
+    blocking = []
+    for edge in view.incident_edges():
+        across = view.label_across(edge)
+        if across == IN_MIS:
+            blocking.append(edge)
+    decisions: dict[EdgeId, Any] = {}
+    if not blocking:
+        for edge in view.incident_edges():
+            decisions[edge] = IN_MIS
+    else:
+        pointer = min(blocking, key=repr)
+        for edge in view.incident_edges():
+            decisions[edge] = MIS_POINTER if edge == pointer else OUT
+    return decisions
+
+
+def coloring_oracle(view: NodeView) -> dict[EdgeId, Any]:
+    """Greedy (deg+1)-colouring decision from the 1-hop view."""
+    forbidden = set()
+    for edge in view.incident_edges():
+        across = view.label_across(edge)
+        if isinstance(across, int):
+            forbidden.add(across)
+    colour = 1
+    while colour in forbidden:
+        colour += 1
+    return {edge: colour for edge in view.incident_edges()}
+
+
+# ----------------------------------------------------------------------
+# P2 oracles
+# ----------------------------------------------------------------------
+def matching_oracle(view: EdgeView) -> dict[NodeId, Any]:
+    """The Lemma 17 decision rule from the 1-hop edge view."""
+    if view.rank() < 2:
+        return {node: DUMMY for node in view.endpoints()}
+    first, second = view.endpoints()
+    matched = {
+        node: MATCHED in view.endpoint_labels(node) for node in (first, second)
+    }
+    if not matched[first] and not matched[second]:
+        return {first: MATCHED, second: MATCHED}
+    if matched[first] and matched[second]:
+        return {first: MATCH_POINTER, second: MATCH_POINTER}
+    if matched[first]:
+        return {first: MATCH_POINTER, second: UNMATCHED}
+    return {first: UNMATCHED, second: MATCH_POINTER}
+
+
+def edge_coloring_oracle(view: EdgeView) -> dict[NodeId, Any]:
+    """The Lemma 16 decision rule from the 1-hop edge view."""
+    if view.rank() < 2:
+        return {node: DUMMY for node in view.endpoints()}
+    first, second = view.endpoints()
+    labels_first = [lab for lab in view.endpoint_labels(first) if lab != DUMMY]
+    labels_second = [lab for lab in view.endpoint_labels(second) if lab != DUMMY]
+    used = {lab[1] for lab in labels_first + labels_second if isinstance(lab, tuple)}
+    budget = len(labels_first) + len(labels_second) + 1
+    colour = next(c for c in range(1, budget + 1) if c not in used)
+    return {
+        first: (len(labels_first) + 1, colour),
+        second: (len(labels_second) + 1, colour),
+    }
+
+
+#: The P1 / P2 membership witnesses shipped with this reproduction.
+P1_ORACLES: dict[str, NodeOracle] = {
+    "maximal-independent-set": mis_oracle,
+    "(deg+1)-coloring": coloring_oracle,
+}
+P2_ORACLES: dict[str, EdgeOracle] = {
+    "maximal-matching": matching_oracle,
+    "(edge-degree+1)-edge-coloring": edge_coloring_oracle,
+}
+
+
+def membership_class(problem: NodeEdgeCheckableProblem) -> str | None:
+    """Which class (``"P1"`` / ``"P2"``) this reproduction has a witness for."""
+    if problem.name in P1_ORACLES:
+        return "P1"
+    if problem.name in P2_ORACLES:
+        return "P2"
+    return None

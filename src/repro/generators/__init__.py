@@ -1,0 +1,40 @@
+"""Instance generators: trees, regular balanced trees and bounded-arboricity graphs.
+
+The paper's lower-bound instances are regular balanced trees; its upper
+bounds apply to all trees and, for the edge problems, to all graphs of
+bounded arboricity (e.g. planar graphs).  This package provides
+deterministic, seedable generators for all of those families, used by the
+test-suite and the experiment harness.
+"""
+
+from repro.generators.trees import (
+    balanced_regular_tree,
+    binary_tree,
+    caterpillar,
+    path_graph,
+    random_tree,
+    spider,
+    star_graph,
+    broom,
+)
+from repro.generators.bounded_arboricity import (
+    forest_union,
+    grid_graph,
+    planar_triangulation_like,
+    random_graph_with_max_degree,
+)
+
+__all__ = [
+    "balanced_regular_tree",
+    "binary_tree",
+    "caterpillar",
+    "path_graph",
+    "random_tree",
+    "spider",
+    "star_graph",
+    "broom",
+    "forest_union",
+    "grid_graph",
+    "planar_triangulation_like",
+    "random_graph_with_max_degree",
+]

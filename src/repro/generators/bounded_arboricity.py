@@ -1,0 +1,95 @@
+"""Generators for graphs of bounded arboricity.
+
+Theorem 2 / Theorem 15 applies to graphs of arboricity at most ``a``; the
+canonical construction of such a graph is a union of ``a`` forests on the
+same node set, which is exactly what :func:`forest_union` produces.  Grid
+graphs and the planar-like triangulations stand in for the "constant
+arboricity, e.g. planar" instances mentioned after Theorem 3.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.generators.trees import random_tree
+
+
+def forest_union(n: int, arboricity: int, seed: int = 0) -> nx.Graph:
+    """A union of ``arboricity`` random forests on the same ``n`` nodes.
+
+    By construction the result has arboricity at most ``arboricity``
+    (each forest contributes its edges to one of the required forests).
+    Parallel edges collapse, which only lowers the arboricity.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for forest_index in range(arboricity):
+        tree = random_tree(n, seed=rng.randrange(1 << 30))
+        relabelled = _random_relabel(tree, n, rng)
+        graph.add_edges_from(relabelled.edges())
+        del forest_index
+    return graph
+
+
+def _random_relabel(tree: nx.Graph, n: int, rng: random.Random) -> nx.Graph:
+    """Relabel a tree's nodes with a random permutation of ``0 .. n-1``."""
+    permutation = list(range(n))
+    rng.shuffle(permutation)
+    mapping = {node: permutation[node] for node in tree.nodes()}
+    return nx.relabel_nodes(tree, mapping)
+
+
+def grid_graph(rows: int, columns: int) -> nx.Graph:
+    """A 2D grid graph (planar, arboricity at most 3), relabelled to integers."""
+    grid = nx.grid_2d_graph(rows, columns)
+    mapping = {node: index for index, node in enumerate(sorted(grid.nodes()))}
+    return nx.relabel_nodes(grid, mapping)
+
+
+def planar_triangulation_like(n: int, seed: int = 0) -> nx.Graph:
+    """A maximal-planar-like graph built by repeated triangle insertion.
+
+    Start from a triangle; every new node is connected to the three nodes
+    of a uniformly chosen existing triangle.  The result is planar with
+    ``3n - 8`` edges (arboricity at most 3), mimicking the Apollonian
+    networks often used as dense planar test instances.
+    """
+    if n < 3:
+        graph = nx.complete_graph(max(n, 0))
+        return graph
+    rng = random.Random(seed)
+    graph = nx.complete_graph(3)
+    triangles = [(0, 1, 2)]
+    for new_node in range(3, n):
+        # Replace a uniformly chosen face by the three faces created when a
+        # node is inserted into it (the Apollonian construction); the chosen
+        # face must be removed to keep the graph planar.
+        index = rng.randrange(len(triangles))
+        a, b, c = triangles.pop(index)
+        graph.add_edges_from([(new_node, a), (new_node, b), (new_node, c)])
+        triangles.extend([(a, b, new_node), (a, c, new_node), (b, c, new_node)])
+    return graph
+
+
+def random_graph_with_max_degree(n: int, max_degree: int, seed: int = 0) -> nx.Graph:
+    """A random graph in which no node exceeds ``max_degree``.
+
+    Used to exercise the truly local baselines as a function of Δ: edges
+    are sampled uniformly and kept only when both endpoints have residual
+    degree budget.
+    """
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    attempts = 4 * n * max(max_degree, 1)
+    for _ in range(attempts):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        if graph.degree(u) < max_degree and graph.degree(v) < max_degree:
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,33 @@
+"""A synchronous simulator for the LOCAL model of distributed computing.
+
+The LOCAL model (Definition 5 of the paper): the network is a graph whose
+nodes are computational units with unique identifiers; computation proceeds
+in synchronous rounds, and in every round each node may send an arbitrarily
+large message to each neighbour, receive its neighbours' messages and
+perform arbitrary local computation.  The complexity of an algorithm is the
+number of rounds until every node has produced its output.
+
+This package provides:
+
+* :class:`Network` — the communication graph with identifier assignment and
+  optional per-node inputs,
+* :class:`SynchronousAlgorithm` — the per-node state machine interface,
+* :func:`run_synchronous` — the round-by-round simulator, and
+* :class:`RoundLedger` — explicit round accounting for the orchestrated
+  phases of the transformation (decomposition iterations, component
+  gathering) that are not run through the message-passing engine.
+"""
+
+from repro.local.network import Network
+from repro.local.algorithm import NodeContext, SynchronousAlgorithm
+from repro.local.simulator import RunResult, run_synchronous
+from repro.local.rounds import RoundLedger
+
+__all__ = [
+    "Network",
+    "NodeContext",
+    "SynchronousAlgorithm",
+    "RunResult",
+    "run_synchronous",
+    "RoundLedger",
+]

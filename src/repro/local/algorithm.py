@@ -1,0 +1,67 @@
+"""The per-node state machine interface for synchronous LOCAL algorithms.
+
+A :class:`SynchronousAlgorithm` describes what a single node does: how it
+initialises its state, which message it sends to each neighbour at the
+start of a round, how it updates its state from the received messages, when
+it terminates, and what it outputs.  The same algorithm object is shared by
+all nodes (it holds no per-node state); the simulator keeps one state value
+per node and drives the rounds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Everything a node knows before the first round.
+
+    In the LOCAL model a node initially knows its own identifier, its
+    degree, ``n`` and ``Δ``; the identifiers of its neighbours can be
+    learnt in a single round, so (as is standard) they are made available
+    up front.
+    """
+
+    node: Hashable
+    node_id: int
+    degree: int
+    neighbors: tuple
+    neighbor_ids: Mapping[Hashable, int]
+    num_nodes: int
+    max_degree: int
+    max_identifier: int
+    node_input: Any = None
+    shared: Mapping[str, Any] = field(default_factory=dict)
+
+
+class SynchronousAlgorithm(ABC):
+    """A deterministic synchronous LOCAL algorithm, described per node."""
+
+    #: Human-readable name, used in run reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def initial_state(self, ctx: NodeContext) -> Any:
+        """The node's state before round 1."""
+
+    @abstractmethod
+    def messages(self, state: Any, ctx: NodeContext) -> dict:
+        """Messages to send this round: a mapping ``neighbor -> message``.
+
+        Neighbours not present in the mapping receive no message.
+        """
+
+    @abstractmethod
+    def transition(self, state: Any, inbox: dict, ctx: NodeContext) -> Any:
+        """The node's new state after receiving ``inbox`` (``neighbor -> message``)."""
+
+    @abstractmethod
+    def has_terminated(self, state: Any, ctx: NodeContext) -> bool:
+        """Whether the node has decided on its output."""
+
+    @abstractmethod
+    def output(self, state: Any, ctx: NodeContext) -> Any:
+        """The node's output, read once every node has terminated."""

@@ -1,0 +1,103 @@
+"""The communication graph of the LOCAL model.
+
+A :class:`Network` wraps a :mod:`networkx` graph and fixes the information
+every node starts with: a globally unique identifier from ``{1, ..., n^c}``,
+the number of nodes ``n``, the maximum degree ``Δ``, and optional problem-
+specific per-node inputs (for example the parent pointer used by the forest
+colouring subroutine).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+
+class Network:
+    """A LOCAL-model network over an undirected simple graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    identifiers:
+        Optional mapping from node to its unique integer identifier.  When
+        omitted, nodes are numbered ``1 .. n`` in sorted order of their
+        representation, which yields a deterministic (adversary-friendly,
+        but valid) identifier assignment.
+    node_inputs:
+        Optional per-node inputs available to the node at the start of the
+        computation.
+    shared:
+        Globally known quantities beyond ``n`` and ``Δ`` (for instance an
+        arboricity bound), visible to every node.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        identifiers: Mapping[Hashable, int] | None = None,
+        node_inputs: Mapping[Hashable, Any] | None = None,
+        shared: Mapping[str, Any] | None = None,
+    ) -> None:
+        if graph.is_directed() or graph.is_multigraph():
+            raise ValueError("the LOCAL network must be a simple undirected graph")
+        self.graph = graph
+        self._nodes = list(graph.nodes())
+        if identifiers is None:
+            ordered = sorted(self._nodes, key=repr)
+            identifiers = {node: index + 1 for index, node in enumerate(ordered)}
+        self.identifiers: dict[Hashable, int] = dict(identifiers)
+        self._validate_identifiers()
+        self.node_inputs: dict[Hashable, Any] = dict(node_inputs or {})
+        self.shared: dict[str, Any] = dict(shared or {})
+
+    def _validate_identifiers(self) -> None:
+        missing = [v for v in self._nodes if v not in self.identifiers]
+        if missing:
+            raise ValueError(f"nodes without identifiers: {missing[:5]!r}")
+        values = list(self.identifiers[v] for v in self._nodes)
+        if len(set(values)) != len(values):
+            raise ValueError("identifiers must be globally unique")
+        if any(not isinstance(x, int) or x < 1 for x in values):
+            raise ValueError("identifiers must be positive integers")
+
+    # ------------------------------------------------------------------
+    # globally known quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """The number of nodes ``n`` (known to every node)."""
+        return len(self._nodes)
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree ``Δ`` (known to every node)."""
+        return max((d for _, d in self.graph.degree()), default=0)
+
+    @property
+    def max_identifier(self) -> int:
+        """The largest identifier in use (an upper bound on the ID space)."""
+        return max(self.identifiers.values(), default=1)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterable[Hashable]:
+        """The network's nodes."""
+        return list(self._nodes)
+
+    def neighbors(self, node: Hashable) -> list:
+        """The neighbours of ``node`` in a deterministic order."""
+        return sorted(self.graph.neighbors(node), key=lambda v: self.identifiers[v])
+
+    def degree(self, node: Hashable) -> int:
+        """The degree of ``node``."""
+        return self.graph.degree(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(n={self.num_nodes}, m={self.graph.number_of_edges()}, "
+            f"max_degree={self.max_degree})"
+        )

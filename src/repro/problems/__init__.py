@@ -1,0 +1,56 @@
+"""Node-edge-checkable problems (Section 2 of the paper).
+
+A node-edge-checkable problem ``Π = (Σ, N_Π, E_Π)`` assigns labels to
+half-edges and is checked by a node constraint (the multiset of labels
+around each node) and an edge constraint (the multiset of labels around
+each edge, depending on its rank).  This package provides:
+
+* the abstract problem interface (:mod:`repro.problems.base`),
+* solution verification (:mod:`repro.problems.verification`),
+* the node-list and edge-list variants ``Π*`` and ``Π×``
+  (:mod:`repro.problems.lists`),
+* the concrete problems used in the paper: (edge-degree+1)-edge colouring,
+  maximal matching, MIS, and (deg+1)/(Δ+1)-vertex colouring, and
+* verifiers for the classic (graph-level) formulations
+  (:mod:`repro.problems.classic`).
+"""
+
+from repro.problems.base import DUMMY, NodeEdgeCheckableProblem
+from repro.problems.verification import VerificationResult, Violation, verify_solution
+from repro.problems.lists import (
+    EdgeListConstraint,
+    EdgeListInstance,
+    NodeListConstraint,
+    NodeListInstance,
+    build_edge_list_instance,
+    build_node_list_instance,
+    verify_edge_list_solution,
+    verify_node_list_solution,
+)
+from repro.problems.edge_coloring import EdgeDegreePlusOneEdgeColoring
+from repro.problems.matching import MaximalMatchingProblem
+from repro.problems.mis import MaximalIndependentSetProblem
+from repro.problems.vertex_coloring import DegreePlusOneColoring, DeltaPlusOneColoring
+from repro.problems.sinkless_orientation import SinklessOrientationProblem
+
+__all__ = [
+    "DUMMY",
+    "NodeEdgeCheckableProblem",
+    "VerificationResult",
+    "Violation",
+    "verify_solution",
+    "NodeListConstraint",
+    "EdgeListConstraint",
+    "NodeListInstance",
+    "EdgeListInstance",
+    "build_node_list_instance",
+    "build_edge_list_instance",
+    "verify_node_list_solution",
+    "verify_edge_list_solution",
+    "EdgeDegreePlusOneEdgeColoring",
+    "MaximalMatchingProblem",
+    "MaximalIndependentSetProblem",
+    "DegreePlusOneColoring",
+    "DeltaPlusOneColoring",
+    "SinklessOrientationProblem",
+]

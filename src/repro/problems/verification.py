@@ -1,0 +1,96 @@
+"""Verification of half-edge labelings against a node-edge-checkable problem.
+
+A solution is valid (Definition 6) when every node's label multiset is in
+``N_Π^{deg}`` and every edge's label multiset is in ``E_Π^{rank}``.  The
+verifier reports every violated constraint, which the test-suite and the
+experiment harness use both to assert correctness and to produce useful
+diagnostics when an algorithm is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.problems.base import NodeEdgeCheckableProblem
+from repro.semigraph import HalfEdgeLabeling, SemiGraph
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single violated constraint."""
+
+    kind: str  # "node", "edge", or "unlabeled"
+    subject: Any  # the node or edge identifier
+    configuration: tuple
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.subject!r}: {self.message} (labels={self.configuration!r})"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying a labeling against a problem."""
+
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """Human-readable one-line summary."""
+        if self.ok:
+            return "valid solution"
+        return f"{len(self.violations)} violations: " + "; ".join(
+            str(v) for v in self.violations[:5]
+        )
+
+
+def verify_solution(
+    problem: NodeEdgeCheckableProblem,
+    semigraph: SemiGraph,
+    labeling: HalfEdgeLabeling,
+    require_complete: bool = True,
+) -> VerificationResult:
+    """Check a half-edge labeling against ``problem`` on ``semigraph``.
+
+    Parameters
+    ----------
+    require_complete:
+        When true (the default), any unlabeled half-edge is reported as a
+        violation.  When false, only nodes and edges all of whose incident
+        half-edges are labeled are checked — useful for verifying the
+        intermediate, partial outputs produced inside the transformation.
+    """
+    violations: list[Violation] = []
+
+    if require_complete:
+        for half_edge in semigraph.half_edges():
+            if not labeling.is_labeled(half_edge):
+                violations.append(
+                    Violation("unlabeled", half_edge, (), "half-edge has no label")
+                )
+
+    for node in semigraph.nodes:
+        incident = semigraph.half_edges_of_node(node)
+        if not all(labeling.is_labeled(h) for h in incident):
+            continue
+        config = labeling.node_configuration(semigraph, node)
+        if not problem.node_config_ok(config):
+            violations.append(
+                Violation("node", node, config, "node configuration not allowed")
+            )
+
+    for edge in semigraph.edges:
+        incident = semigraph.half_edges_of_edge(edge)
+        if not all(labeling.is_labeled(h) for h in incident):
+            continue
+        config = labeling.edge_configuration(semigraph, edge)
+        if not problem.edge_config_ok(config, semigraph.rank(edge)):
+            violations.append(
+                Violation("edge", edge, config, "edge configuration not allowed")
+            )
+
+    return VerificationResult(ok=not violations, violations=violations)

@@ -1,0 +1,89 @@
+"""Constructors for semi-graphs.
+
+The transformation of the paper repeatedly builds sub-semi-graphs of the
+input: the semi-graph ``T_C`` induced by the compressed nodes keeps every
+edge with at least one compressed endpoint (those with exactly one drop to
+rank 1), while the semi-graph ``G[E_2]`` induced by the typical edges keeps
+only those edges with both endpoints.  This module provides those
+constructions plus conversion from :mod:`networkx` graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.semigraph.semigraph import EdgeId, NodeId, SemiGraph
+
+
+def edge_id_for(u: Hashable, v: Hashable) -> tuple:
+    """Canonical edge identifier for the graph edge ``{u, v}``."""
+    a, b = sorted((u, v), key=repr)
+    return (a, b)
+
+
+def semigraph_from_graph(graph: nx.Graph) -> SemiGraph:
+    """Interpret a standard graph as a semi-graph (every edge has rank 2).
+
+    Edge identifiers are the canonical sorted pairs produced by
+    :func:`edge_id_for`, so sub-semi-graph constructions on the same graph
+    share identifiers and labelings can be merged across them.
+    """
+    semigraph = SemiGraph(graph.nodes())
+    for u, v in graph.edges():
+        semigraph.add_edge(edge_id_for(u, v), (u, v))
+    return semigraph
+
+
+def restrict_to_nodes(
+    semigraph: SemiGraph,
+    nodes: Iterable[NodeId],
+    keep_boundary_edges: bool = True,
+) -> SemiGraph:
+    """Sub-semi-graph on a node subset.
+
+    With ``keep_boundary_edges=True`` this is the construction of the
+    semi-graph ``T_C`` in the proof of Theorem 12: the node set is
+    ``nodes``, the edge set contains every edge of ``semigraph`` with at
+    least one endpoint in ``nodes``, and edges lose the endpoints outside
+    ``nodes`` (dropping their rank accordingly).
+
+    With ``keep_boundary_edges=False`` only edges with *all* endpoints in
+    ``nodes`` are kept (ranks are preserved) — the ordinary induced
+    sub-semi-graph ``G[P]``.
+    """
+    node_set = set(nodes)
+    unknown = node_set - set(semigraph.nodes)
+    if unknown:
+        raise ValueError(f"nodes not in semi-graph: {sorted(unknown, key=repr)!r}")
+    result = SemiGraph(node_set)
+    for edge_id in semigraph.edges:
+        endpoints = semigraph.endpoints(edge_id)
+        inside = tuple(v for v in endpoints if v in node_set)
+        if keep_boundary_edges:
+            if inside:
+                result.add_edge(edge_id, inside)
+        else:
+            if len(inside) == len(endpoints) and endpoints:
+                result.add_edge(edge_id, endpoints)
+    return result
+
+
+def restrict_to_edges(semigraph: SemiGraph, edges: Iterable[EdgeId]) -> SemiGraph:
+    """Sub-semi-graph induced by an edge subset (the paper's ``G[Q]``).
+
+    The node set consists of every endpoint of a selected edge; ranks are
+    preserved.
+    """
+    edge_set = set(edges)
+    unknown = edge_set - set(semigraph.edges)
+    if unknown:
+        raise ValueError(f"edges not in semi-graph: {sorted(unknown, key=repr)!r}")
+    nodes: set[NodeId] = set()
+    for edge_id in edge_set:
+        nodes.update(semigraph.endpoints(edge_id))
+    result = SemiGraph(nodes)
+    for edge_id in edge_set:
+        result.add_edge(edge_id, semigraph.endpoints(edge_id))
+    return result

@@ -1,0 +1,195 @@
+"""Tests for the truly local colouring subroutines (Cole–Vishkin, Linial, sweeps)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.color_reduction import reduce_to_deg_plus_one
+from repro.baselines.coloring import deg_plus_one_coloring
+from repro.baselines.forest_coloring import (
+    cole_vishkin_step,
+    color_forest_three,
+    reduction_iterations,
+)
+from repro.baselines.linial import (
+    choose_field,
+    linial_coloring,
+    linial_step,
+    reduction_schedule,
+)
+from repro.baselines.primes import is_prime, next_prime
+from repro.core.complexity import log_star
+from repro.generators import balanced_regular_tree, caterpillar, random_tree
+from repro.problems.classic import is_deg_plus_one_coloring, is_proper_vertex_coloring
+
+
+def parents_via_bfs(tree: nx.Graph, root) -> dict:
+    parents = {root: None}
+    for parent, child in nx.bfs_edges(tree, root):
+        parents[child] = parent
+    return parents
+
+
+class TestPrimes:
+    def test_is_prime(self):
+        assert [p for p in range(20) if is_prime(p)] == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+
+
+class TestColeVishkin:
+    def test_step_produces_small_distinct_values(self):
+        assert cole_vishkin_step(0b1010, 0b1000) == 2 * 1 + 1
+        assert cole_vishkin_step(0b1000, 0b1010) == 2 * 1 + 0
+
+    def test_step_rejects_equal_colours(self):
+        with pytest.raises(ValueError):
+            cole_vishkin_step(5, 5)
+
+    def test_reduction_iterations_grows_extremely_slowly(self):
+        assert reduction_iterations(7) <= 2
+        assert reduction_iterations(10**6) <= 5
+        assert reduction_iterations(10**18) <= 6
+
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            nx.path_graph(50),
+            nx.star_graph(30),
+            balanced_regular_tree(3, 4),
+            caterpillar(20, 3),
+            random_tree(120, seed=7),
+        ],
+        ids=["path", "star", "balanced", "caterpillar", "random"],
+    )
+    def test_three_coloring_is_proper(self, tree):
+        root = next(iter(tree.nodes()))
+        parents = parents_via_bfs(tree, root)
+        colours, rounds = color_forest_three(tree, parents)
+        assert is_proper_vertex_coloring(tree, colours)
+        assert set(colours.values()) <= {1, 2, 3}
+        assert rounds <= reduction_iterations(tree.number_of_nodes()) + 6
+
+    def test_forest_with_multiple_roots(self):
+        forest = nx.Graph()
+        forest.add_edges_from([(0, 1), (2, 3), (3, 4)])
+        forest.add_node(9)
+        parents = {0: None, 1: 0, 2: None, 3: 2, 4: 3, 9: None}
+        colours, _ = color_forest_three(forest, parents)
+        assert is_proper_vertex_coloring(forest, colours)
+        assert set(colours.values()) <= {1, 2, 3}
+
+    def test_invalid_parent_rejected(self):
+        tree = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            color_forest_three(tree, {0: 2, 1: 0, 2: 1})
+
+    def test_rounds_do_not_grow_with_n(self):
+        small = nx.path_graph(30)
+        large = nx.path_graph(3000)
+        _, rounds_small = color_forest_three(small, parents_via_bfs(small, 0))
+        _, rounds_large = color_forest_three(large, parents_via_bfs(large, 0))
+        assert rounds_large <= rounds_small + 2  # log* growth only
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=5000))
+    def test_property_random_trees(self, n, seed):
+        tree = random_tree(n, seed=seed)
+        root = min(tree.nodes())
+        colours, _ = color_forest_three(tree, parents_via_bfs(tree, root))
+        assert is_proper_vertex_coloring(tree, colours)
+        assert set(colours.values()) <= {1, 2, 3}
+
+
+class TestLinial:
+    def test_choose_field_invariants(self):
+        for num_colours in (10, 100, 10_000, 10**6):
+            for delta in (1, 2, 5, 17):
+                q, degree = choose_field(num_colours, delta)
+                assert is_prime(q)
+                assert q ** (degree + 1) >= num_colours
+                assert q > delta * degree
+
+    def test_reduction_schedule_shrinks(self):
+        schedule, final = reduction_schedule(10**6, max_degree=4)
+        assert len(schedule) >= 1
+        sizes = [entry[2] for entry in schedule] + [final]
+        assert all(later < earlier for earlier, later in zip(sizes, sizes[1:]))
+        assert final <= 1000  # O(Δ²)-ish for Δ = 4
+
+    def test_linial_step_separates_neighbours(self):
+        q, degree = choose_field(100, 3)
+        new = linial_step(17, [5, 9, 23], q, degree)
+        others = [linial_step(c, [17], q, degree) for c in (5, 9, 23)]
+        assert 0 <= new < q * q
+        # The new colours of true neighbours need not differ from each other,
+        # but a node always differs from each neighbour after a joint step
+        # when both use the same evaluation-point rule on a proper colouring.
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.path_graph(64),
+            nx.cycle_graph(33),
+            nx.star_graph(20),
+            balanced_regular_tree(4, 3),
+            nx.complete_graph(6),
+            random_tree(90, seed=11),
+        ],
+        ids=["path", "cycle", "star", "balanced", "clique", "random-tree"],
+    )
+    def test_linial_coloring_proper_and_bounded(self, graph):
+        colours, palette, rounds = linial_coloring(graph)
+        assert is_proper_vertex_coloring(graph, colours)
+        assert all(1 <= c <= palette for c in colours.values())
+        max_degree = max(d for _, d in graph.degree())
+        assert palette <= 36 * (max_degree + 3) ** 2
+        assert rounds <= log_star(graph.number_of_nodes()) + 6
+
+    def test_linial_on_empty_graph(self):
+        colours, palette, rounds = linial_coloring(nx.Graph())
+        assert colours == {} and rounds == 0
+
+
+class TestDegPlusOne:
+    def test_reduce_to_deg_plus_one(self):
+        graph = nx.cycle_graph(10)
+        initial = {node: node + 1 for node in graph.nodes()}
+        colours, rounds = reduce_to_deg_plus_one(graph, initial, 10)
+        assert is_deg_plus_one_coloring(graph, colours)
+        assert rounds == 10
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            nx.path_graph(40),
+            nx.star_graph(15),
+            nx.complete_graph(7),
+            balanced_regular_tree(3, 4),
+            random_tree(80, seed=3),
+        ],
+        ids=["path", "star", "clique", "balanced", "random-tree"],
+    )
+    def test_deg_plus_one_coloring(self, graph):
+        run = deg_plus_one_coloring(graph)
+        assert is_deg_plus_one_coloring(graph, run.colours)
+        assert run.rounds == run.linial_rounds + run.sweep_rounds
+        assert run.sweep_rounds == run.palette_after_linial
+
+    def test_rounds_depend_on_degree_not_size(self):
+        small = nx.path_graph(50)
+        large = nx.path_graph(2000)
+        run_small = deg_plus_one_coloring(small)
+        run_large = deg_plus_one_coloring(large)
+        # Same maximum degree: the sweep length is identical and only the
+        # log*-term may differ by a round or two.
+        assert run_large.sweep_rounds == run_small.sweep_rounds
+        assert abs(run_large.rounds - run_small.rounds) <= 3
+
+    def test_empty_graph(self):
+        run = deg_plus_one_coloring(nx.Graph())
+        assert run.colours == {} and run.rounds == 0

@@ -1,0 +1,78 @@
+"""Additional coverage for the verification layer and transform bookkeeping."""
+
+import networkx as nx
+
+from repro.baselines import MISAlgorithm
+from repro.core import solve_on_tree
+from repro.generators import random_tree
+from repro.problems import MaximalIndependentSetProblem, verify_solution
+from repro.problems.mis import IN_MIS, OUT
+from repro.problems.verification import VerificationResult, Violation
+from repro.semigraph import HalfEdge, HalfEdgeLabeling, semigraph_from_graph
+from repro.semigraph.builders import edge_id_for
+
+MIS = MaximalIndependentSetProblem()
+
+
+class TestVerificationReporting:
+    def test_partial_verification_skips_unlabeled_subjects(self):
+        graph = nx.path_graph(3)
+        semigraph = semigraph_from_graph(graph)
+        labeling = HalfEdgeLabeling(
+            {
+                HalfEdge(0, edge_id_for(0, 1)): IN_MIS,
+                HalfEdge(1, edge_id_for(0, 1)): OUT,
+            }
+        )
+        strict = verify_solution(MIS, semigraph, labeling)
+        assert not strict.ok
+        assert all(v.kind == "unlabeled" for v in strict.violations)
+        relaxed = verify_solution(MIS, semigraph, labeling, require_complete=False)
+        # Node 1 and edge (1,2) are only partially labeled and therefore not
+        # checked; the labeled edge (0,1) is valid, so nothing is reported.
+        assert relaxed.ok
+
+    def test_violation_rendering_and_summary(self):
+        violation = Violation("node", 7, (IN_MIS, OUT), "node configuration not allowed")
+        text = str(violation)
+        assert "node" in text and "7" in text
+        result = VerificationResult(ok=False, violations=[violation])
+        assert not bool(result)
+        assert "1 violations" in result.summary()
+        assert VerificationResult(ok=True).summary() == "valid solution"
+
+    def test_invalid_labels_are_reported_per_subject(self):
+        graph = nx.path_graph(2)
+        semigraph = semigraph_from_graph(graph)
+        labeling = HalfEdgeLabeling(
+            {
+                HalfEdge(0, edge_id_for(0, 1)): IN_MIS,
+                HalfEdge(1, edge_id_for(0, 1)): IN_MIS,
+            }
+        )
+        result = verify_solution(MIS, semigraph, labeling)
+        kinds = {v.kind for v in result.violations}
+        assert kinds == {"edge"}  # both node configurations are fine (all-M)
+
+
+class TestTransformBookkeeping:
+    def test_labeling_covers_every_half_edge_exactly_once(self):
+        tree = random_tree(80, seed=19)
+        result = solve_on_tree(tree, MISAlgorithm())
+        semigraph = semigraph_from_graph(tree)
+        assert result.labeling.is_complete(semigraph)
+        assert len(result.labeling) == 2 * tree.number_of_edges()
+
+    def test_details_report_partition_sizes(self):
+        tree = random_tree(80, seed=20)
+        result = solve_on_tree(tree, MISAlgorithm())
+        details = result.details
+        assert details["compressed_nodes"] + details["raked_nodes"] == 80
+        assert details["iterations"] >= 1
+        assert isinstance(details["raked_component_diameters"], list)
+
+    def test_repr_smoke(self):
+        tree = random_tree(20, seed=21)
+        result = solve_on_tree(tree, MISAlgorithm())
+        assert "TransformResult" in repr(result)
+        assert "RoundLedger" in repr(result.ledger)
