@@ -1,6 +1,21 @@
-"""Helpers shared by the experiment benchmarks."""
+"""Helpers shared by the experiment benchmarks.
 
+Two kinds of output are produced under ``benchmarks/results/``:
+
+* plain-text :class:`MeasurementTable` renderings (``<name>.txt``) for
+  humans and for EXPERIMENTS.md to quote, and
+* machine-readable JSON (``<name>.json``) so the performance trajectory
+  can be compared across PRs — the CI workflow uploads these as
+  artifacts.  Every scenario entry records at least the scenario name,
+  the instance size ``n``, the wall-clock seconds and (for simulator
+  scenarios) the round and message counts.
+"""
+
+import json
 import os
+import platform
+import sys
+import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -13,3 +28,52 @@ def record_table(name: str, table) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def scenario_entry(
+    scenario: str,
+    n: int,
+    wall_clock_s: float,
+    rounds: int | None = None,
+    messages: int | None = None,
+    **extras,
+) -> dict:
+    """One machine-readable benchmark data point."""
+    entry = {
+        "scenario": scenario,
+        "n": n,
+        "wall_clock_s": round(wall_clock_s, 6),
+        "rounds": rounds,
+        "messages": messages,
+    }
+    entry.update(extras)
+    return entry
+
+
+def record_json(name: str, entries: list, meta: dict | None = None) -> str:
+    """Persist benchmark entries as ``benchmarks/results/<name>.json``.
+
+    Returns the path written.  The payload carries enough environment
+    metadata to interpret wall-clock numbers across machines.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "name": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "entries": list(entries),
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def timed(callable_):
+    """Run ``callable_`` and return ``(result, wall_clock_seconds)``."""
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start

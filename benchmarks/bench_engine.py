@@ -1,0 +1,203 @@
+"""BENCH — the simulation-engine regression benchmark.
+
+Records the wall-clock, round and message trajectory of the hot paths
+every experiment (E1–E8) funnels through:
+
+* ``run_synchronous`` on seeded random trees and bounded-degree graphs
+  (Linial colouring, Cole–Vishkin forest 3-colouring, colour-class MIS),
+* the decomposition processes (rake-and-compress, Algorithm 3), and
+* the bounded-degree random-graph generator.
+
+It also re-runs the seed engine (``run_synchronous_reference``) on the
+n=10⁴ random tree and asserts a ≥5× speedup with bit-identical
+``RunResult`` fields, so a future PR cannot silently regress the engine.
+
+Run the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+or through pytest (``pytest benchmarks/bench_engine.py``).  Set
+``BENCH_SMOKE=1`` for the small CI-sized instances.  Results land in
+``benchmarks/results/bench_engine.json`` (machine-readable) and
+``benchmarks/results/bench_engine.txt`` (table).
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from _harness import record_json, record_table, scenario_entry, timed  # noqa: E402
+
+from repro.analysis import MeasurementTable  # noqa: E402
+from repro.baselines.forest_coloring import ForestThreeColoring  # noqa: E402
+from repro.baselines.linial import LinialColoring  # noqa: E402
+from repro.baselines import maximal_independent_set  # noqa: E402
+from repro.decomposition import arboricity_decomposition, rake_and_compress  # noqa: E402
+from repro.generators import (  # noqa: E402
+    forest_union,
+    random_graph_with_max_degree,
+    random_tree,
+)
+from repro.local import Network, run_synchronous, run_synchronous_reference  # noqa: E402
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: Sizes of the engine sweep; the last tree size is the speedup scenario.
+TREE_SIZES = [1000, 3000] if SMOKE else [1000, 10000, 30000]
+SPEEDUP_N = 2000 if SMOKE else 10000
+SPEEDUP_FACTOR = 5.0
+
+
+def _bfs_parents(tree, root=0):
+    """Parent pointers rooting ``tree`` at ``root`` (None for the root)."""
+    parents = {root: None}
+    frontier = [root]
+    adj = tree.adj
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in adj[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return parents
+
+
+def _engine_scenarios():
+    """Fast-engine scenarios: (scenario name, n, rounds, messages, seconds)."""
+    rows = []
+    for n in TREE_SIZES:
+        tree = random_tree(n, seed=42)
+        network = Network(tree)
+        result, seconds = timed(lambda: run_synchronous(network, LinialColoring()))
+        rows.append(("sync/linial/random-tree", n, result.rounds, result.messages_sent, seconds))
+
+        parents = _bfs_parents(tree)
+        forest_network = Network(tree, node_inputs=parents)
+        result, seconds = timed(
+            lambda: run_synchronous(forest_network, ForestThreeColoring())
+        )
+        rows.append(
+            ("sync/forest-3-coloring/random-tree", n, result.rounds, result.messages_sent, seconds)
+        )
+
+    n = 1000 if SMOKE else 5000
+    graph = random_graph_with_max_degree(n, 8, seed=7)
+    run, seconds = timed(lambda: maximal_independent_set(graph))
+    rows.append(("sync/color-class-mis/bounded-degree", n, run.rounds, None, seconds))
+    return rows
+
+
+def _decomposition_scenarios():
+    """Decomposition / generator scenarios: (scenario, n, rounds, seconds)."""
+    rows = []
+    n = 3000 if SMOKE else 30000
+    tree = random_tree(n, seed=5)
+    decomposition, seconds = timed(lambda: rake_and_compress(tree, k=8))
+    rows.append(("decomposition/rake-compress/random-tree", n, decomposition.rounds, seconds))
+
+    n = 1000 if SMOKE else 10000
+    graph = forest_union(n, arboricity=3, seed=11)
+    decomposition, seconds = timed(
+        lambda: arboricity_decomposition(graph, arboricity=3, k=15)
+    )
+    rows.append(("decomposition/arboricity/forest-union", n, decomposition.rounds, seconds))
+
+    n = 2000 if SMOKE else 20000
+    _, seconds = timed(lambda: random_graph_with_max_degree(n, 8, seed=3))
+    rows.append(("generator/random-graph-max-degree", n, None, seconds))
+    return rows
+
+
+def _speedup_scenario():
+    """Fast vs. seed engine on the n=SPEEDUP_N random tree.
+
+    Returns (entries, speedups); asserts identical RunResult fields.
+    """
+    tree = random_tree(SPEEDUP_N, seed=42)
+    parents = _bfs_parents(tree)
+    entries = []
+    speedups = {}
+    for algorithm_factory, inputs, name in (
+        (LinialColoring, None, "linial"),
+        (ForestThreeColoring, parents, "forest-3-coloring"),
+    ):
+        network = Network(tree, node_inputs=inputs)
+        fast, fast_seconds = timed(lambda: run_synchronous(network, algorithm_factory()))
+        reference, reference_seconds = timed(
+            lambda: run_synchronous_reference(network, algorithm_factory())
+        )
+        assert fast.rounds == reference.rounds
+        assert fast.messages_sent == reference.messages_sent
+        assert fast.outputs == reference.outputs
+        speedup = reference_seconds / fast_seconds
+        speedups[name] = speedup
+        entries.append(
+            scenario_entry(
+                f"speedup/{name}/random-tree",
+                SPEEDUP_N,
+                fast_seconds,
+                rounds=fast.rounds,
+                messages=fast.messages_sent,
+                reference_wall_clock_s=round(reference_seconds, 6),
+                speedup=round(speedup, 2),
+            )
+        )
+    return entries, speedups
+
+
+def run_bench(check_speedup: bool = True) -> list:
+    """Run every scenario, write table + JSON, return the JSON entries."""
+    table = MeasurementTable(
+        "BENCH: simulation engine (wall-clock per scenario)",
+        ["scenario", "n", "wall clock [s]", "rounds", "messages"],
+    )
+    entries = []
+
+    for scenario, n, rounds, messages, seconds in _engine_scenarios():
+        entries.append(scenario_entry(scenario, n, seconds, rounds=rounds, messages=messages))
+        table.add_row(scenario, n, seconds, rounds, messages if messages is not None else "-")
+
+    for scenario, n, rounds, seconds in _decomposition_scenarios():
+        entries.append(scenario_entry(scenario, n, seconds, rounds=rounds))
+        table.add_row(scenario, n, seconds, rounds if rounds is not None else "-", "-")
+
+    speedup_entries, speedups = _speedup_scenario()
+    for entry in speedup_entries:
+        entries.append(entry)
+        table.add_row(
+            f"{entry['scenario']} ({entry['speedup']}x vs seed)",
+            entry["n"],
+            entry["wall_clock_s"],
+            entry["rounds"],
+            entry["messages"],
+        )
+
+    record_table("bench_engine", table)
+    record_json(
+        "bench_engine",
+        entries,
+        meta={"smoke": SMOKE, "speedup_target": SPEEDUP_FACTOR, "speedups": speedups},
+    )
+    if check_speedup:
+        for name, speedup in speedups.items():
+            assert speedup >= SPEEDUP_FACTOR, (
+                f"engine speedup regressed: {name} is only {speedup:.1f}x "
+                f"(target ≥{SPEEDUP_FACTOR}x) over the seed engine"
+            )
+    return entries
+
+
+def test_bench_engine_and_speedup():
+    entries = run_bench(check_speedup=True)
+    assert any(entry["scenario"].startswith("speedup/") for entry in entries)
+
+
+if __name__ == "__main__":
+    run_bench(check_speedup=True)
+    print("bench_engine: all scenarios recorded, speedup target met")

@@ -32,6 +32,7 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.local.csr import CSRAdjacency
 from repro.semigraph.builders import edge_id_for
 
 #: Rounds charged per peeling iteration (the compress test inspects the
@@ -186,16 +187,22 @@ def arboricity_decomposition(
     theoretical_bound = math.ceil(10 * math.log(max(n, 2)) / math.log(ratio)) + 1
     safety_cap = max(4 * theoretical_bound + 8, 64)
 
-    remaining = dict(graph.degree())
-    alive: set = set(graph.nodes())
-    adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+    # Index the topology once into a CSR layout; the peeling loop then
+    # runs entirely on int indices and flat arrays instead of re-hashing
+    # node objects through dict-of-set adjacencies every iteration.
+    csr = CSRAdjacency.from_graph(graph)
+    node_of = csr.nodes
+    offsets, targets = csr.offsets, csr.targets
+    remaining = csr.degrees()
+    alive = [True] * n
+    alive_indices = list(range(n))
 
     layers: list[frozenset] = []
     node_iteration: dict[Hashable, int] = {}
     degree_snapshots: list[dict] = []
     iteration = 0
 
-    while alive:
+    while alive_indices:
         iteration += 1
         if iteration > safety_cap:
             raise RuntimeError(
@@ -207,33 +214,35 @@ def arboricity_decomposition(
                 f"Algorithm 3 exceeded the Lemma 13 bound of {theoretical_bound} "
                 f"iterations (n={n}, a={arboricity}, b={b}, k={k})"
             )
-        degree_snapshots.append({node: remaining[node] for node in alive})
-        marked = {
-            node
-            for node in alive
-            if remaining[node] <= k
-            and sum(
-                1
-                for nbr in adjacency[node]
-                if nbr in alive and remaining[nbr] > k
-            )
-            <= b
-        }
-        if not marked:
+        degree_snapshots.append({node_of[i]: remaining[i] for i in alive_indices})
+        marked_indices = []
+        for i in alive_indices:
+            if remaining[i] > k:
+                continue
+            high_neighbors = 0
+            for j in targets[offsets[i] : offsets[i + 1]]:
+                if alive[j] and remaining[j] > k:
+                    high_neighbors += 1
+                    if high_neighbors > b:
+                        break
+            if high_neighbors <= b:
+                marked_indices.append(i)
+        if not marked_indices:
             raise RuntimeError(
                 "Algorithm 3 made no progress; the arboricity bound or the "
                 "parameters (b, k) are inconsistent with the input graph"
             )
-        for node in marked:
-            node_iteration[node] = iteration
-        layers.append(frozenset(marked))
-        for node in marked:
-            alive.discard(node)
-        for node in marked:
-            for neighbor in adjacency[node]:
-                if neighbor in alive:
-                    remaining[neighbor] -= 1
-            remaining[node] = 0
+        for i in marked_indices:
+            node_iteration[node_of[i]] = iteration
+        layers.append(frozenset(node_of[i] for i in marked_indices))
+        for i in marked_indices:
+            alive[i] = False
+        for i in marked_indices:
+            for j in targets[offsets[i] : offsets[i + 1]]:
+                if alive[j]:
+                    remaining[j] -= 1
+            remaining[i] = 0
+        alive_indices = [i for i in alive_indices if alive[i]]
 
     decomposition = ArboricityDecomposition(
         graph=graph,

@@ -29,6 +29,8 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.local.csr import CSRAdjacency
+
 #: Rounds charged per peeling iteration (one for the compress test, one for
 #: the rake test — each only inspects the 1-hop neighbourhood).
 ROUNDS_PER_ITERATION = 2
@@ -183,15 +185,20 @@ def rake_and_compress(
     theoretical_bound = math.ceil(math.log(max(n, 2)) / math.log(k)) + 1
     safety_cap = max(4 * theoretical_bound + 8, 32)
 
-    remaining = dict(tree.degree())
-    alive: set = set(tree.nodes())
-    adjacency = {node: set(tree.neighbors(node)) for node in tree.nodes()}
+    # One-time CSR indexing: the peeling loop runs on int indices and
+    # flat offset/target arrays rather than dict-of-set adjacencies.
+    csr = CSRAdjacency.from_graph(tree)
+    node_of = csr.nodes
+    offsets, targets = csr.offsets, csr.targets
+    remaining = csr.degrees()
+    alive = [True] * n
+    alive_indices = list(range(n))
 
     layers: list[Layer] = []
     node_layer: dict[Hashable, Layer] = {}
     iteration = 0
 
-    while alive:
+    while alive_indices:
         iteration += 1
         if iteration > safety_cap:
             raise RuntimeError(
@@ -206,27 +213,33 @@ def rake_and_compress(
 
         # Compress: degree ≤ k and all neighbours' degrees ≤ k (in the
         # remaining forest).
-        compressed = {
-            node
-            for node in alive
-            if remaining[node] <= k
-            and all(remaining[nbr] <= k for nbr in adjacency[node] if nbr in alive)
-        }
-        _remove(compressed, alive, adjacency, remaining)
+        compressed = [
+            i
+            for i in alive_indices
+            if remaining[i] <= k
+            and all(
+                remaining[j] <= k
+                for j in targets[offsets[i] : offsets[i + 1]]
+                if alive[j]
+            )
+        ]
+        _remove(compressed, alive, offsets, targets, remaining)
+        alive_indices = [i for i in alive_indices if alive[i]]
         if compressed:
-            layer = Layer(iteration, "compress", frozenset(compressed))
+            layer = Layer(iteration, "compress", frozenset(node_of[i] for i in compressed))
             layers.append(layer)
-            for node in compressed:
-                node_layer[node] = layer
+            for i in compressed:
+                node_layer[node_of[i]] = layer
 
         # Rake: degree ≤ 1 in the forest remaining after the compress step.
-        raked = {node for node in alive if remaining[node] <= 1}
-        _remove(raked, alive, adjacency, remaining)
+        raked = [i for i in alive_indices if remaining[i] <= 1]
+        _remove(raked, alive, offsets, targets, remaining)
+        alive_indices = [i for i in alive_indices if alive[i]]
         if raked:
-            layer = Layer(iteration, "rake", frozenset(raked))
+            layer = Layer(iteration, "rake", frozenset(node_of[i] for i in raked))
             layers.append(layer)
-            for node in raked:
-                node_layer[node] = layer
+            for i in raked:
+                node_layer[node_of[i]] = layer
 
         if not compressed and not raked:
             raise RuntimeError(
@@ -245,12 +258,18 @@ def rake_and_compress(
     )
 
 
-def _remove(nodes: set, alive: set, adjacency: dict, remaining: dict) -> None:
-    """Remove ``nodes`` from the remaining forest, updating degrees."""
-    for node in nodes:
-        alive.discard(node)
-    for node in nodes:
-        for neighbor in adjacency[node]:
-            if neighbor in alive:
-                remaining[neighbor] -= 1
-        remaining[node] = 0
+def _remove(
+    marked: list[int],
+    alive: list[bool],
+    offsets: list[int],
+    targets: list[int],
+    remaining: list[int],
+) -> None:
+    """Remove ``marked`` indices from the remaining forest, updating degrees."""
+    for i in marked:
+        alive[i] = False
+    for i in marked:
+        for j in targets[offsets[i] : offsets[i + 1]]:
+            if alive[j]:
+                remaining[j] -= 1
+        remaining[i] = 0

@@ -9,25 +9,36 @@ number of rounds until every node has produced its output.
 
 This package provides:
 
-* :class:`Network` — the communication graph with identifier assignment and
-  optional per-node inputs,
+* :class:`Network` — the communication graph with identifier assignment,
+  optional per-node inputs and a one-time CSR adjacency index,
+* :class:`CSRAdjacency` — the flat int-indexed adjacency layout shared
+  with the decomposition hot loops,
 * :class:`SynchronousAlgorithm` — the per-node state machine interface,
-* :func:`run_synchronous` — the round-by-round simulator, and
+* :func:`run_synchronous` — the active-set round-by-round simulator,
+* :func:`run_synchronous_reference` — the seed engine, kept as the
+  equivalence oracle and benchmark baseline, and
 * :class:`RoundLedger` — explicit round accounting for the orchestrated
   phases of the transformation (decomposition iterations, component
   gathering) that are not run through the message-passing engine.
 """
 
+from repro.local.csr import CSRAdjacency
 from repro.local.network import Network
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
-from repro.local.simulator import RunResult, run_synchronous
+from repro.local.simulator import (
+    RunResult,
+    run_synchronous,
+    run_synchronous_reference,
+)
 from repro.local.rounds import RoundLedger
 
 __all__ = [
+    "CSRAdjacency",
     "Network",
     "NodeContext",
     "SynchronousAlgorithm",
     "RunResult",
     "run_synchronous",
+    "run_synchronous_reference",
     "RoundLedger",
 ]

@@ -5,6 +5,28 @@ every node starts with: a globally unique identifier from ``{1, ..., n^c}``,
 the number of nodes ``n``, the maximum degree ``Δ``, and optional problem-
 specific per-node inputs (for example the parent pointer used by the forest
 colouring subroutine).
+
+Data layout
+-----------
+A network is immutable after construction, so ``__init__`` performs a
+single indexing pass and every subsequent topology query is served from
+caches:
+
+* ``max_degree`` and ``max_identifier`` are plain attributes computed
+  once (the seed implementation recomputed both with a full scan on
+  every access, which made context construction quadratic);
+* the adjacency is compiled into a CSR-style flat layout
+  (:class:`repro.local.csr.CSRAdjacency`): an int-indexed node table plus
+  ``offsets``/``targets`` arrays whose neighbour slices are already
+  sorted by identifier.  Building it visits sources in increasing
+  identifier order, so no per-node sort is needed — ``O(n log n + m)``
+  total instead of the seed's ``O(m log Δ)`` sort per ``neighbors()``
+  call;
+* ``nodes()`` returns one cached tuple and ``neighbors()`` memoizes the
+  identifier-sorted neighbour tuple of each node.
+
+The wrapped ``graph`` must not be mutated after the network is built; the
+caches would go stale silently.
 """
 
 from __future__ import annotations
@@ -12,6 +34,8 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable, Mapping
 
 import networkx as nx
+
+from repro.local.csr import CSRAdjacency
 
 
 class Network:
@@ -44,7 +68,7 @@ class Network:
         if graph.is_directed() or graph.is_multigraph():
             raise ValueError("the LOCAL network must be a simple undirected graph")
         self.graph = graph
-        self._nodes = list(graph.nodes())
+        self._nodes: tuple = tuple(graph.nodes())
         if identifiers is None:
             ordered = sorted(self._nodes, key=repr)
             identifiers = {node: index + 1 for index, node in enumerate(ordered)}
@@ -52,6 +76,18 @@ class Network:
         self._validate_identifiers()
         self.node_inputs: dict[Hashable, Any] = dict(node_inputs or {})
         self.shared: dict[str, Any] = dict(shared or {})
+        # One-time indexing pass: identifier-sorted CSR adjacency plus the
+        # globally known scalars.
+        ids = self.identifiers
+        self.csr: CSRAdjacency = CSRAdjacency.from_graph(
+            graph, order_key=ids.__getitem__
+        )
+        offsets = self.csr.offsets
+        self.max_degree: int = max(
+            (offsets[i + 1] - offsets[i] for i in range(len(self._nodes))), default=0
+        )
+        self.max_identifier: int = max(ids.values(), default=1)
+        self._neighbor_cache: list[tuple | None] = [None] * len(self._nodes)
 
     def _validate_identifiers(self) -> None:
         missing = [v for v in self._nodes if v not in self.identifiers]
@@ -71,30 +107,26 @@ class Network:
         """The number of nodes ``n`` (known to every node)."""
         return len(self._nodes)
 
-    @property
-    def max_degree(self) -> int:
-        """The maximum degree ``Δ`` (known to every node)."""
-        return max((d for _, d in self.graph.degree()), default=0)
-
-    @property
-    def max_identifier(self) -> int:
-        """The largest identifier in use (an upper bound on the ID space)."""
-        return max(self.identifiers.values(), default=1)
-
     # ------------------------------------------------------------------
     # topology
     # ------------------------------------------------------------------
     def nodes(self) -> Iterable[Hashable]:
-        """The network's nodes."""
-        return list(self._nodes)
+        """The network's nodes (a cached tuple; do not mutate)."""
+        return self._nodes
 
-    def neighbors(self, node: Hashable) -> list:
-        """The neighbours of ``node`` in a deterministic order."""
-        return sorted(self.graph.neighbors(node), key=lambda v: self.identifiers[v])
+    def neighbors(self, node: Hashable) -> tuple:
+        """The neighbours of ``node``, sorted by identifier (memoized)."""
+        i = self.csr.index[node]
+        cached = self._neighbor_cache[i]
+        if cached is None:
+            nodes = self.csr.nodes
+            cached = tuple(nodes[j] for j in self.csr.neighbor_slice(i))
+            self._neighbor_cache[i] = cached
+        return cached
 
     def degree(self, node: Hashable) -> int:
         """The degree of ``node``."""
-        return self.graph.degree(node)
+        return self.csr.degree_of(self.csr.index[node])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

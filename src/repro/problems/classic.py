@@ -41,6 +41,18 @@ def edge_degree(graph: nx.Graph, edge: tuple) -> int:
     return graph.degree(u) + graph.degree(v) - 2
 
 
+def _is_proper_normalised(graph: nx.Graph, normalised: Mapping[tuple, int]) -> bool:
+    """Properness check on an already-normalised complete edge-colour map."""
+    for node, adjacency in graph.adj.items():
+        seen: set = set()
+        for neighbor in adjacency:
+            colour = normalised[_edge_key(node, neighbor)]
+            if colour in seen:
+                return False
+            seen.add(colour)
+    return True
+
+
 def is_proper_edge_coloring(graph: nx.Graph, colours: Mapping[tuple, int]) -> bool:
     """Every edge coloured, adjacent edges differ.
 
@@ -49,11 +61,7 @@ def is_proper_edge_coloring(graph: nx.Graph, colours: Mapping[tuple, int]) -> bo
     normalised = _normalise_edge_map(graph, colours)
     if normalised is None:
         return False
-    for node in graph.nodes():
-        incident = [normalised[_edge_key(u, v)] for u, v in graph.edges(node)]
-        if len(incident) != len(set(incident)):
-            return False
-    return True
+    return _is_proper_normalised(graph, normalised)
 
 
 def is_edge_degree_plus_one_coloring(
@@ -63,10 +71,12 @@ def is_edge_degree_plus_one_coloring(
     normalised = _normalise_edge_map(graph, colours)
     if normalised is None:
         return False
-    if not is_proper_edge_coloring(graph, colours):
+    if not _is_proper_normalised(graph, normalised):
         return False
+    # One degree map instead of two graph.degree() calls per edge.
+    degrees = dict(graph.degree())
     return all(
-        normalised[_edge_key(u, v)] <= edge_degree(graph, (u, v)) + 1
+        normalised[_edge_key(u, v)] <= degrees[u] + degrees[v] - 1
         for u, v in graph.edges()
     )
 
@@ -75,9 +85,11 @@ def is_two_delta_minus_one_edge_coloring(
     graph: nx.Graph, colours: Mapping[tuple, int]
 ) -> bool:
     """Proper edge colouring using colours from ``1 .. 2Δ - 1``."""
-    if not is_proper_edge_coloring(graph, colours):
-        return False
     normalised = _normalise_edge_map(graph, colours)
+    if normalised is None:
+        return False
+    if not _is_proper_normalised(graph, normalised):
+        return False
     max_degree = max((d for _, d in graph.degree()), default=0)
     budget = max(1, 2 * max_degree - 1)
     return all(1 <= c <= budget for c in normalised.values())

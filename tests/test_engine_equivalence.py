@@ -1,0 +1,192 @@
+"""Equivalence of the fast engine against the seed reference engine.
+
+Every registered synchronous baseline algorithm is run twice on each
+seeded instance — once through the active-set / CSR engine
+(:func:`run_synchronous`) and once through the preserved seed engine
+(:func:`run_synchronous_reference`) — and the ``RunResult`` fields
+``rounds``, ``messages_sent`` and ``outputs`` must be identical.
+
+The CSR rewrites of the decomposition processes are cross-checked the
+same way, against naive dict-of-set reimplementations of the seed
+peeling loops kept inside this module.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.color_reduction import ColorClassReduction
+from repro.baselines.coloring import deg_plus_one_coloring
+from repro.baselines.forest_coloring import ForestThreeColoring
+from repro.baselines.linial import LinialColoring
+from repro.baselines.mis import ColorClassMIS
+from repro.decomposition import arboricity_decomposition, rake_and_compress
+from repro.generators import (
+    forest_union,
+    random_graph_with_max_degree,
+    random_tree,
+)
+from repro.local import Network, run_synchronous, run_synchronous_reference
+
+
+def _bfs_parents(tree, root):
+    parents = {root: None}
+    frontier = [root]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in tree.adj[node]:
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return parents
+
+
+def _tree_instances():
+    yield "random-tree-40", random_tree(40, seed=3)
+    yield "random-tree-90", random_tree(90, seed=17)
+    yield "path-25", nx.path_graph(25)
+    yield "star-30", nx.star_graph(29)
+
+
+def _graph_instances():
+    yield from _tree_instances()
+    yield "forest-union-50", forest_union(50, arboricity=2, seed=5)
+    yield "bounded-degree-60", random_graph_with_max_degree(60, 5, seed=9)
+
+
+def _networks():
+    """(label, Network, algorithm, max_rounds) for every registered baseline."""
+    scenarios = []
+    for name, graph in _graph_instances():
+        scenarios.append((f"linial/{name}", Network(graph), LinialColoring(), None))
+
+        coloring = deg_plus_one_coloring(graph)
+        num_classes = max(coloring.colours.values(), default=1)
+        scenarios.append(
+            (
+                f"color-class-mis/{name}",
+                Network(
+                    graph,
+                    node_inputs=dict(coloring.colours),
+                    shared={"num_classes": num_classes},
+                ),
+                ColorClassMIS(),
+                num_classes + 2,
+            )
+        )
+        scenarios.append(
+            (
+                f"color-class-reduction/{name}",
+                Network(
+                    graph,
+                    node_inputs=dict(coloring.colours),
+                    shared={"num_classes": num_classes},
+                ),
+                ColorClassReduction(),
+                num_classes + 1,
+            )
+        )
+    for name, tree in _tree_instances():
+        parents = _bfs_parents(tree, root=next(iter(tree.nodes())))
+        scenarios.append(
+            (
+                f"forest-3-coloring/{name}",
+                Network(tree, node_inputs=parents),
+                ForestThreeColoring(),
+                None,
+            )
+        )
+    return scenarios
+
+
+@pytest.mark.parametrize(
+    "label, network, algorithm, max_rounds",
+    _networks(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_fast_engine_matches_reference(label, network, algorithm, max_rounds):
+    fast = run_synchronous(network, algorithm, max_rounds=max_rounds)
+    reference = run_synchronous_reference(network, algorithm, max_rounds=max_rounds)
+    assert fast.rounds == reference.rounds
+    assert fast.messages_sent == reference.messages_sent
+    assert fast.outputs == reference.outputs
+
+
+# ----------------------------------------------------------------------
+# decomposition peeling loops vs. naive seed reimplementations
+# ----------------------------------------------------------------------
+def _naive_rake_compress_layers(tree, k):
+    """The seed peeling loop of rake_and_compress (dict-of-set version)."""
+    remaining = dict(tree.degree())
+    alive = set(tree.nodes())
+    adjacency = {node: set(tree.neighbors(node)) for node in tree.nodes()}
+
+    def remove(nodes):
+        for node in nodes:
+            alive.discard(node)
+        for node in nodes:
+            for neighbor in adjacency[node]:
+                if neighbor in alive:
+                    remaining[neighbor] -= 1
+            remaining[node] = 0
+
+    layers = []
+    while alive:
+        compressed = {
+            node
+            for node in alive
+            if remaining[node] <= k
+            and all(remaining[nbr] <= k for nbr in adjacency[node] if nbr in alive)
+        }
+        remove(compressed)
+        if compressed:
+            layers.append(("compress", frozenset(compressed)))
+        raked = {node for node in alive if remaining[node] <= 1}
+        remove(raked)
+        if raked:
+            layers.append(("rake", frozenset(raked)))
+        assert compressed or raked
+    return layers
+
+
+def _naive_arboricity_layers(graph, k, b):
+    """The seed peeling loop of Algorithm 3 (dict-of-set version)."""
+    remaining = dict(graph.degree())
+    alive = set(graph.nodes())
+    adjacency = {node: set(graph.neighbors(node)) for node in graph.nodes()}
+    layers = []
+    while alive:
+        marked = {
+            node
+            for node in alive
+            if remaining[node] <= k
+            and sum(1 for nbr in adjacency[node] if nbr in alive and remaining[nbr] > k)
+            <= b
+        }
+        assert marked
+        layers.append(frozenset(marked))
+        for node in marked:
+            alive.discard(node)
+        for node in marked:
+            for neighbor in adjacency[node]:
+                if neighbor in alive:
+                    remaining[neighbor] -= 1
+            remaining[node] = 0
+    return layers
+
+
+@pytest.mark.parametrize("n, k, seed", [(60, 3, 1), (150, 5, 2), (300, 8, 3)])
+def test_rake_compress_layers_match_naive(n, k, seed):
+    tree = random_tree(n, seed=seed)
+    decomposition = rake_and_compress(tree, k=k)
+    fast_layers = [(layer.kind, layer.nodes) for layer in decomposition.layers]
+    assert fast_layers == _naive_rake_compress_layers(tree, k)
+
+
+@pytest.mark.parametrize("n, a, seed", [(80, 2, 4), (200, 3, 5)])
+def test_arboricity_layers_match_naive(n, a, seed):
+    graph = forest_union(n, arboricity=a, seed=seed)
+    k, b = 5 * a, 2 * a
+    decomposition = arboricity_decomposition(graph, arboricity=a, k=k)
+    assert decomposition.layers == _naive_arboricity_layers(graph, k, b)

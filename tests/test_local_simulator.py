@@ -93,7 +93,22 @@ class TestNetwork:
     def test_neighbors_sorted_by_identifier(self):
         graph = nx.star_graph(3)
         network = Network(graph, identifiers={0: 10, 1: 3, 2: 1, 3: 2})
-        assert network.neighbors(0) == [2, 3, 1]
+        assert network.neighbors(0) == (2, 3, 1)
+        # memoized: repeated calls return the same cached tuple
+        assert network.neighbors(0) is network.neighbors(0)
+
+    def test_nodes_returns_cached_tuple(self):
+        network = Network(nx.path_graph(4))
+        assert network.nodes() == (0, 1, 2, 3)
+        assert network.nodes() is network.nodes()
+
+    def test_cached_scalars_match_graph(self):
+        graph = nx.star_graph(5)
+        network = Network(graph)
+        assert network.max_degree == 5
+        assert network.max_identifier == 6
+        assert network.degree(0) == 5
+        assert network.degree(3) == 1
 
     def test_shared_and_inputs_propagate_to_context(self):
         graph = nx.path_graph(2)
