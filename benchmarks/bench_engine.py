@@ -38,6 +38,7 @@ from repro.baselines.linial import LinialColoring  # noqa: E402
 from repro.baselines import maximal_independent_set  # noqa: E402
 from repro.decomposition import arboricity_decomposition, rake_and_compress  # noqa: E402
 from repro.generators import (  # noqa: E402
+    bfs_forest_parents,
     forest_union,
     random_graph_with_max_degree,
     random_tree,
@@ -52,20 +53,6 @@ SPEEDUP_N = 2000 if SMOKE else 10000
 SPEEDUP_FACTOR = 5.0
 
 
-def _bfs_parents(tree, root=0):
-    """Parent pointers rooting ``tree`` at ``root`` (None for the root)."""
-    parents = {root: None}
-    frontier = [root]
-    adj = tree.adj
-    while frontier:
-        next_frontier = []
-        for node in frontier:
-            for neighbor in adj[node]:
-                if neighbor not in parents:
-                    parents[neighbor] = node
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
-    return parents
 
 
 def _engine_scenarios():
@@ -77,7 +64,7 @@ def _engine_scenarios():
         result, seconds = timed(lambda: run_synchronous(network, LinialColoring()))
         rows.append(("sync/linial/random-tree", n, result.rounds, result.messages_sent, seconds))
 
-        parents = _bfs_parents(tree)
+        parents = bfs_forest_parents(tree)
         forest_network = Network(tree, node_inputs=parents)
         result, seconds = timed(
             lambda: run_synchronous(forest_network, ForestThreeColoring())
@@ -120,7 +107,7 @@ def _speedup_scenario():
     Returns (entries, speedups); asserts identical RunResult fields.
     """
     tree = random_tree(SPEEDUP_N, seed=42)
-    parents = _bfs_parents(tree)
+    parents = bfs_forest_parents(tree)
     entries = []
     speedups = {}
     for algorithm_factory, inputs, name in (

@@ -1,0 +1,13 @@
+"""Shared bootstrap: make ``repro`` importable from a source checkout.
+
+Every example starts with ``import _path  # noqa: F401`` instead of
+repeating its own ``sys.path`` surgery.  Importing this module is enough —
+it prepends ``<repo>/src`` to ``sys.path`` exactly once.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

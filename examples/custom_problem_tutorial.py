@@ -20,10 +20,7 @@ Run with::
     python examples/custom_problem_tutorial.py
 """
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _path  # noqa: F401
 
 from repro.core.slocal import solve_node_sequential
 from repro.generators import random_tree

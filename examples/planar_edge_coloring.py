@@ -12,10 +12,7 @@ Run with::
     python examples/planar_edge_coloring.py
 """
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _path  # noqa: F401
 
 from repro.analysis import MeasurementTable
 from repro.baselines import EdgeColoringAlgorithm

@@ -1,54 +1,66 @@
-"""Quickstart: (edge-degree+1)-edge colouring on a tree via the paper's transformation.
+"""Quickstart: run a paper-claims sweep through the experiments subsystem.
 
 Run with::
 
     python examples/quickstart.py
 
-The script builds a random tree, runs the Theorem 15 pipeline (which on a
-tree, arboricity 1, is exactly the Theorem 3 algorithm), verifies the
-solution both in the node-edge-checkability formalism and as a classic edge
-colouring, and prints the per-phase round account.
+The script drives the same machinery as ``python -m repro.experiments``:
+it runs the ``paper-claims`` suite at smoke sizes through the parallel
+:class:`SweepRunner` into a JSONL :class:`ResultStore`, shows that a second
+invocation resumes (skips every completed cell), and rebuilds the scaling
+table and the Theorem 3 shape fit from the stored records alone.  A single
+transformed run is unpacked at the end to show the per-phase round ledger.
 """
 
-import sys
-from pathlib import Path
+import tempfile
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _path  # noqa: F401
 
-from repro.baselines import EdgeColoringAlgorithm, OracleCostModel
-from repro.core import polylog, solve_on_bounded_arboricity
+from repro.baselines import EdgeColoringAlgorithm
+from repro.core import solve_on_bounded_arboricity
+from repro.experiments import ResultStore, SweepRunner, build_report, get_suite
 from repro.generators import random_tree
-from repro.problems.classic import is_edge_degree_plus_one_coloring
 
 
 def main() -> None:
-    tree = random_tree(1000, seed=42)
-    print(f"input: random tree with n={tree.number_of_nodes()} nodes")
+    suite = get_suite("paper-claims")
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as directory:
+        store = ResultStore(directory)
+        runner = SweepRunner(suite, store, jobs=2, smoke=True)
 
-    # 1. Run the transformation with the implemented truly local algorithm
-    #    (Linial colouring of the line graph + colour-class sweep, f(Δ)=O(Δ²)).
-    algorithm = EdgeColoringAlgorithm()
-    result = solve_on_bounded_arboricity(tree, arboricity=1, algorithm=algorithm)
-    print(f"\nproblem: {result.problem_name}")
+        report = runner.run()
+        print(
+            f"first sweep:  {report.executed} cells executed, "
+            f"{report.skipped} skipped, all verified: {report.ok}"
+        )
+
+        report = runner.run()
+        print(
+            f"second sweep: {report.executed} cells executed, "
+            f"{report.skipped} skipped (resumed from {store.path.name})"
+        )
+
+        bundle = build_report(store.records())
+        print()
+        print(bundle.scaling.render())
+        print()
+        print(bundle.fits.render())
+        if bundle.theorem3_beta is not None:
+            print(
+                f"\nTheorem 3 shape from stored results: "
+                f"beta = {bundle.theorem3_beta:.3f} (< 1: strongly sublogarithmic)"
+            )
+
+    # One transformed run unpacked: the Theorem 15 pipeline on a tree
+    # (arboricity 1) is exactly the Theorem 3 algorithm.
+    tree = random_tree(1000, seed=42)
+    result = solve_on_bounded_arboricity(tree, 1, EdgeColoringAlgorithm())
+    print(f"\none run unpacked: {result.problem_name} on a random tree, n=1000")
     print(f"cut-off k = g(n): {result.k}")
     print(f"valid solution:   {result.verification.ok}")
     print(f"total rounds:     {result.rounds}")
     for phase, rounds in result.ledger.breakdown().items():
         print(f"  {phase:40s} {rounds:6d} rounds")
-
-    colours = dict(result.classic)
-    print(f"colours used:     {len(set(colours.values()))}")
-    print(f"classic verifier: {is_edge_degree_plus_one_coloring(tree, colours)}")
-
-    # 2. Re-run with the paper's cost model for the [BBKO22b] black box
-    #    (f(Δ) = log^12 Δ) to see the Theorem 3 round charge.
-    model = OracleCostModel("BBKO22b edge colouring", polylog(12))
-    charged = solve_on_bounded_arboricity(
-        tree, arboricity=1, algorithm=algorithm, cost_model=model
-    )
-    print(f"\nwith the analytic f(Δ)=log^12 Δ cost model:")
-    print(f"cut-off k = g(n)^2: {charged.k}")
-    print(f"charged rounds:     {charged.charged_rounds}")
 
 
 if __name__ == "__main__":

@@ -13,10 +13,7 @@ Run with::
     python examples/symmetry_breaking_on_trees.py
 """
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+import _path  # noqa: F401
 
 from repro.analysis import MeasurementTable
 from repro.baselines import (

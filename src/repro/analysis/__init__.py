@@ -7,12 +7,19 @@ recorded in EXPERIMENTS.md and fits simple growth models (``log n``,
 *shape* claims of the paper can be checked quantitatively.
 """
 
-from repro.analysis.measurement import Measurement, MeasurementTable
+from repro.analysis.measurement import (
+    Measurement,
+    MeasurementTable,
+    measurements_from_csv,
+    measurements_to_csv,
+)
 from repro.analysis.curves import fit_power_of_log, growth_exponent
 
 __all__ = [
     "Measurement",
     "MeasurementTable",
+    "measurements_to_csv",
+    "measurements_from_csv",
     "fit_power_of_log",
     "growth_exponent",
 ]

@@ -19,15 +19,29 @@ def fit_power_of_log(ns: Sequence[float], values: Sequence[float]) -> tuple[floa
     """Least-squares fit of ``value ≈ c · (log₂ n)^β``.
 
     Returns ``(beta, c)``.  Points with ``n ≤ 2`` or non-positive values
-    are ignored.
+    are ignored; if fewer than two points survive, the raised
+    ``ValueError`` names exactly which ``(n, value)`` pairs were dropped
+    and why.
     """
     xs, ys = [], []
+    dropped: list[tuple[float, float]] = []
     for n, value in zip(ns, values):
         if n > 2 and value > 0:
             xs.append(math.log(math.log2(n)))
             ys.append(math.log(value))
+        else:
+            dropped.append((n, value))
     if len(xs) < 2:
-        raise ValueError("need at least two usable data points to fit a curve")
+        detail = (
+            f" dropped {len(dropped)} point(s) with n <= 2 or value <= 0: "
+            + ", ".join(f"(n={n!r}, value={value!r})" for n, value in dropped)
+            if dropped
+            else f" received only {len(xs)} point(s) in total"
+        )
+        raise ValueError(
+            "need at least two usable data points to fit a curve "
+            f"(kept {len(xs)} of {len(xs) + len(dropped)});{detail}"
+        )
     slope, intercept = np.polyfit(np.array(xs), np.array(ys), 1)
     return float(slope), float(math.exp(intercept))
 

@@ -1,0 +1,62 @@
+"""Experiment orchestration: declarative sweeps, parallel runner, JSONL store.
+
+The subsystem that turns the fast LOCAL engine into a traffic-serving
+workhorse:
+
+* :mod:`repro.experiments.spec` — declarative :class:`ScenarioSpec`
+  (generator family × algorithm family × sizes × seeds), the generator /
+  algorithm registries and the built-in suites (``paper-claims``,
+  ``scaling``, ``stress``);
+* :mod:`repro.experiments.runner` — :class:`SweepRunner` fans pending
+  cells out over a ``ProcessPoolExecutor``; each worker generates the
+  instance, runs the engine under a message meter, verifies the output and
+  returns a :class:`CellResult`;
+* :mod:`repro.experiments.store` — the append-only, fingerprint-keyed
+  JSONL :class:`ResultStore` that makes sweeps resumable;
+* :mod:`repro.experiments.report` — rebuilds the paper's scaling tables
+  and ``(log₂ n)^β`` shape fits from the store alone;
+* :mod:`repro.experiments.cli` — the ``python -m repro.experiments``
+  command line (``run`` / ``list`` / ``report``).
+"""
+
+from repro.experiments.spec import (
+    ALGORITHMS,
+    GENERATORS,
+    SUITES,
+    AlgorithmFamily,
+    Cell,
+    GeneratorFamily,
+    ScenarioSpec,
+    Suite,
+    get_suite,
+    register_algorithm,
+    register_generator,
+    register_suite,
+)
+from repro.experiments.store import CellResult, ResultStore, cell_fingerprint
+from repro.experiments.runner import SweepReport, SweepRunner, default_jobs, run_cell
+from repro.experiments.report import ReportBundle, build_report
+
+__all__ = [
+    "ALGORITHMS",
+    "GENERATORS",
+    "SUITES",
+    "AlgorithmFamily",
+    "Cell",
+    "GeneratorFamily",
+    "ScenarioSpec",
+    "Suite",
+    "get_suite",
+    "register_algorithm",
+    "register_generator",
+    "register_suite",
+    "CellResult",
+    "ResultStore",
+    "cell_fingerprint",
+    "SweepReport",
+    "SweepRunner",
+    "default_jobs",
+    "run_cell",
+    "ReportBundle",
+    "build_report",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro.experiments <run|list|report>``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run paper-claims --jobs 4
+    python -m repro.experiments run paper-claims --jobs 4      # skips all cells
+    python -m repro.experiments run scaling --sizes 100,300 --seeds 1
+    python -m repro.experiments report
+    python -m repro.experiments report --json report.json --csv report.csv
+
+``run`` appends to ``<out>/results.jsonl`` (default ``experiments/results``)
+and is resumable: completed-and-verified cells are skipped by fingerprint,
+so a crashed or interrupted sweep continues where it stopped.  ``report``
+rebuilds the scaling tables and log-power fits from the store alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.report import _format_n, build_report
+from repro.experiments.runner import SweepRunner, default_jobs
+from repro.experiments.spec import ALGORITHMS, GENERATORS, SUITES, get_suite
+from repro.experiments.store import CellResult, ResultStore
+
+__all__ = ["main", "build_parser"]
+
+DEFAULT_OUT = "experiments/results"
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    try:
+        values = tuple(int(part) for part in text.replace(",", " ").split())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected integers, got {text!r}") from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="declarative experiment sweeps over the fast LOCAL engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a suite's pending cells")
+    run.add_argument("suite", help=f"suite name (one of: {', '.join(sorted(SUITES))})")
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: min(cpu count, 8))",
+    )
+    run.add_argument(
+        "--sizes", type=_int_list, default=None,
+        help="override the size sweep of measured scenarios, e.g. --sizes 100,300",
+    )
+    run.add_argument(
+        "--seeds", type=_int_list, default=None,
+        help="override the seed list of measured scenarios, e.g. --seeds 1,2,3",
+    )
+    run.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"result-store directory (default: {DEFAULT_OUT})",
+    )
+    run.add_argument(
+        "--smoke", action="store_true",
+        help="CI-size sweep: smoke sizes, first seed only (analytic cells unchanged)",
+    )
+    run.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
+
+    sub.add_parser("list", help="list suites, generators and algorithms")
+
+    report = sub.add_parser(
+        "report", help="rebuild scaling tables and shape fits from stored results"
+    )
+    report.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"result-store directory to read (default: {DEFAULT_OUT})",
+    )
+    report.add_argument(
+        "--suite", default=None,
+        help="only report records of this suite (default: all records)",
+    )
+    report.add_argument("--json", default=None, help="also write the tables as JSON")
+    report.add_argument("--csv", default=None, help="also write the scaling table as CSV")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        suite = get_suite(args.suite)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    store = ResultStore(args.out)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    runner = SweepRunner(
+        suite, store, jobs=jobs, smoke=args.smoke, sizes=args.sizes, seeds=args.seeds
+    )
+
+    def progress(result: CellResult) -> None:
+        status = "ok" if result.verified else "VERIFY-FAILED"
+        rounds = (
+            f"{result.rounds:.1f}" if isinstance(result.rounds, float) else result.rounds
+        )
+        print(
+            f"  [{result.fingerprint}] {result.scenario} n={result.n} "
+            f"seed={result.seed} rounds={rounds} "
+            f"wall={result.wall_clock_s:.3f}s {status}"
+        )
+
+    print(f"suite {suite.name!r}: {suite.description}")
+    report = runner.run(progress=None if args.quiet else progress)
+    print(
+        f"cells: {report.total_cells} total, {report.skipped} already stored, "
+        f"{report.executed} executed, {len(report.failures)} failed, "
+        f"{report.unverified} unverified  "
+        f"({report.wall_clock_s:.1f}s, jobs={jobs})"
+    )
+    print(f"store: {store.path}")
+    for failure in report.failures:
+        print(
+            f"FAILED cell {failure.cell.scenario} n={failure.cell.n} "
+            f"seed={failure.cell.seed}: {failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
+def _cmd_list() -> int:
+    print("suites:")
+    for name in sorted(SUITES):
+        suite = SUITES[name]
+        print(f"  {name}: {suite.description}")
+        for scenario in suite.scenarios:
+            sizes = ", ".join(_format_n(n) for n in scenario.sizes)
+            print(
+                f"    {scenario.name}  [{scenario.generator} × {scenario.algorithm}]"
+                f"  sizes: {sizes}  seeds: {len(scenario.seeds)}"
+            )
+    print("\ngenerator families:")
+    for name in sorted(GENERATORS):
+        print(f"  {name}: {GENERATORS[name].description}")
+    print("\nalgorithm families:")
+    for name in sorted(ALGORITHMS):
+        family = ALGORITHMS[name]
+        print(f"  {name} ({family.kind}): {family.description}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out)
+    records = store.records()
+    if args.suite is not None:
+        try:
+            suite = get_suite(args.suite)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        # Cells are deduplicated across suites by fingerprint, so a record
+        # may carry the name of whichever suite ran it first; match the
+        # requested suite's cell fingerprints (full and smoke sweeps) too,
+        # not just the label.
+        fingerprints = {cell.fingerprint for cell in suite.cells()}
+        fingerprints.update(cell.fingerprint for cell in suite.cells(smoke=True))
+        records = [
+            record for record in records
+            if record["suite"] == args.suite or record["fingerprint"] in fingerprints
+        ]
+    if not records:
+        print(f"no stored results under {store.path}", file=sys.stderr)
+        return 2
+    bundle = build_report(records)
+    print(bundle.render())
+    if args.json:
+        tables = [bundle.scaling, bundle.fits] + bundle.scenario_tables
+        payload = "[" + ",\n".join(table.to_json() for table in tables) + "]\n"
+        Path(args.json).write_text(payload, encoding="utf-8")
+        print(f"wrote {args.json}")
+    if args.csv:
+        Path(args.csv).write_text(bundle.scaling.to_csv(), encoding="utf-8")
+        print(f"wrote {args.csv}")
+    return 0 if bundle.all_verified else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_report(args)

@@ -1,0 +1,218 @@
+"""Turn stored sweep results into the paper's scaling tables and fits.
+
+Everything here consumes only the JSONL records of a
+:class:`~repro.experiments.store.ResultStore` — the report is reproducible
+from disk alone, with no re-simulation.  Aggregation averages over seeds
+per (scenario, n); the shape fits feed the aggregated round counts through
+:func:`repro.analysis.curves.fit_power_of_log`, which is how the Theorem 3
+claim (``rounds ≈ c · (log₂ n)^β`` with ``β < 1`` for the transformed edge
+colouring) is checked from the analytic-prediction cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.analysis import MeasurementTable, fit_power_of_log
+from repro.experiments.spec import ANALYTIC_GENERATOR
+
+__all__ = [
+    "ScenarioPoint",
+    "ScenarioSummary",
+    "ReportBundle",
+    "aggregate",
+    "scenario_table",
+    "scaling_table",
+    "fit_summaries",
+    "build_report",
+]
+
+#: Name of the analytic algorithm whose fit carries the Theorem 3 claim.
+THEOREM3_ALGORITHM = "predicted-edge-coloring-log12"
+
+
+@dataclass
+class ScenarioPoint:
+    """One aggregated (scenario, n) data point, averaged over seeds."""
+
+    n: int
+    cells: int
+    rounds: float
+    messages: float | None
+    wall_clock_s: float
+    verified: bool
+
+
+@dataclass
+class ScenarioSummary:
+    """All aggregated points of one scenario, sorted by ``n``."""
+
+    scenario: str
+    generator: str
+    algorithm: str
+    points: list[ScenarioPoint] = field(default_factory=list)
+
+    @property
+    def is_analytic(self) -> bool:
+        return self.generator == ANALYTIC_GENERATOR
+
+    @property
+    def verified(self) -> bool:
+        return all(point.verified for point in self.points)
+
+
+def aggregate(records: Iterable[dict[str, Any]]) -> list[ScenarioSummary]:
+    """Group records by scenario and average over seeds per size.
+
+    Records are deduplicated by fingerprint first, last occurrence winning:
+    a cell that failed verification and was re-run on resume has two
+    records in the append-only store, and only the re-run must count.
+    """
+    by_fingerprint: dict[str, dict[str, Any]] = {}
+    for record in records:
+        by_fingerprint[record["fingerprint"]] = record
+    grouped: dict[tuple[str, str, str], dict[int, list[dict]]] = {}
+    for record in by_fingerprint.values():
+        key = (record["scenario"], record["generator"], record["algorithm"])
+        grouped.setdefault(key, {}).setdefault(record["n"], []).append(record)
+
+    summaries = []
+    for (scenario, generator, algorithm), by_n in sorted(grouped.items()):
+        summary = ScenarioSummary(scenario, generator, algorithm)
+        for n in sorted(by_n):
+            cells = by_n[n]
+            message_counts = [c["messages"] for c in cells if c.get("messages") is not None]
+            summary.points.append(ScenarioPoint(
+                n=n,
+                cells=len(cells),
+                rounds=sum(c["rounds"] for c in cells) / len(cells),
+                messages=(
+                    sum(message_counts) / len(message_counts)
+                    if message_counts
+                    else None
+                ),
+                wall_clock_s=sum(c.get("wall_clock_s", 0.0) for c in cells) / len(cells),
+                verified=all(c["verified"] for c in cells),
+            ))
+        summaries.append(summary)
+    return summaries
+
+
+def _format_n(n: int) -> str:
+    """Big analytic sizes print as powers of two, measured sizes verbatim."""
+    if n >= 2**53 and (n & (n - 1)) == 0:
+        return f"2^{n.bit_length() - 1}"
+    return str(n)
+
+
+def scenario_table(summary: ScenarioSummary) -> MeasurementTable:
+    """The per-scenario detail table (one row per size)."""
+    table = MeasurementTable(
+        f"{summary.scenario}  [{summary.generator} × {summary.algorithm}]",
+        ["n", "cells", "rounds (mean)", "messages (mean)", "wall s (mean)", "verified"],
+    )
+    for point in summary.points:
+        table.add_row(
+            _format_n(point.n),
+            point.cells,
+            round(point.rounds, 2),
+            round(point.messages, 1) if point.messages is not None else "-",
+            round(point.wall_clock_s, 4),
+            "ok" if point.verified else "FAILED",
+        )
+    return table
+
+
+def scaling_table(summaries: list[ScenarioSummary]) -> MeasurementTable:
+    """The paper-style scaling table: sizes × measured scenarios, mean rounds."""
+    measured = [summary for summary in summaries if not summary.is_analytic]
+    sizes = sorted({point.n for summary in measured for point in summary.points})
+    table = MeasurementTable(
+        "Measured rounds by instance size (mean over seeds)",
+        ["n"] + [summary.scenario for summary in measured],
+    )
+    for n in sizes:
+        row: list[Any] = [n]
+        for summary in measured:
+            match = next((p for p in summary.points if p.n == n), None)
+            row.append(round(match.rounds, 1) if match is not None else "-")
+        table.add_row(*row)
+    return table
+
+
+def fit_summaries(
+    summaries: list[ScenarioSummary],
+) -> tuple[MeasurementTable, dict[str, float]]:
+    """Fit ``rounds ≈ c · (log₂ n)^β`` per scenario with ≥ 2 usable sizes."""
+    table = MeasurementTable(
+        "Log-power fits: rounds ≈ c · (log₂ n)^β",
+        ["scenario", "points", "beta", "c", "shape"],
+    )
+    betas: dict[str, float] = {}
+    for summary in summaries:
+        ns = [point.n for point in summary.points]
+        values = [point.rounds for point in summary.points]
+        if len(set(ns)) < 2:
+            continue
+        try:
+            beta, c = fit_power_of_log(ns, values)
+        except ValueError:
+            # Fewer than two points survive the n > 2 / value > 0 filter
+            # (e.g. a --sizes 1,2 sweep); an unfittable scenario should not
+            # take down the rest of the report.
+            continue
+        betas[summary.scenario] = beta
+        shape = "strongly sublogarithmic (beta < 1)" if beta < 1 else "beta >= 1"
+        table.add_row(summary.scenario, len(ns), round(beta, 3), round(c, 3), shape)
+    return table, betas
+
+
+@dataclass
+class ReportBundle:
+    """Everything the ``report`` subcommand prints and exports."""
+
+    summaries: list[ScenarioSummary]
+    scenario_tables: list[MeasurementTable]
+    scaling: MeasurementTable
+    fits: MeasurementTable
+    betas: dict[str, float]
+    theorem3_beta: float | None
+    all_verified: bool
+
+    def render(self) -> str:
+        parts = [self.scaling.render(), "", self.fits.render(), ""]
+        for table in self.scenario_tables:
+            parts += [table.render(), ""]
+        if self.theorem3_beta is not None:
+            verdict = "<" if self.theorem3_beta < 1 else ">="
+            parts.append(
+                "Theorem 3 shape (transformed edge colouring, analytic cells): "
+                f"beta = {self.theorem3_beta:.3f} {verdict} 1"
+            )
+        parts.append(
+            "all stored cells verified: " + ("yes" if self.all_verified else "NO")
+        )
+        return "\n".join(parts)
+
+
+def build_report(records: Iterable[dict[str, Any]]) -> ReportBundle:
+    """Aggregate stored records into tables, fits and the Theorem 3 verdict."""
+    summaries = aggregate(records)
+    if not summaries:
+        raise ValueError("no stored results to report on (run a suite first)")
+    fits, betas = fit_summaries(summaries)
+    theorem3_beta = None
+    for summary in summaries:
+        if summary.algorithm == THEOREM3_ALGORITHM and summary.scenario in betas:
+            theorem3_beta = betas[summary.scenario]
+            break
+    return ReportBundle(
+        summaries=summaries,
+        scenario_tables=[scenario_table(summary) for summary in summaries],
+        scaling=scaling_table(summaries),
+        fits=fits,
+        betas=betas,
+        theorem3_beta=theorem3_beta,
+        all_verified=all(summary.verified for summary in summaries),
+    )

@@ -1,0 +1,168 @@
+"""The parallel sweep runner: fan cells out over a process pool.
+
+:func:`run_cell` is the worker entry point: it resolves the cell's
+generator and algorithm from the registries, builds the instance, runs the
+computation under a :class:`~repro.local.MessageMeter` and returns a
+:class:`~repro.experiments.store.CellResult`.  It deliberately takes only
+plain data (the suite name and a :class:`~repro.experiments.spec.Cell`) so
+the payload shipped to worker processes stays tiny.
+
+:class:`SweepRunner` filters a suite's cells against the store's completed
+fingerprints, executes the remainder (serially for ``jobs=1``, over a
+``ProcessPoolExecutor`` otherwise) and appends each result to the store
+the moment it completes — a crashed sweep resumes exactly where it died.
+Failed cells (exceptions) are *not* stored, so the next run retries them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.local import MessageMeter
+from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
+from repro.experiments.store import CellResult, ResultStore
+
+__all__ = ["run_cell", "CellFailure", "SweepReport", "SweepRunner", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A conservative default worker count: the CPU count, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def run_cell(suite_name: str, cell: Cell) -> CellResult:
+    """Execute one sweep cell and return its structured result.
+
+    Top-level and argument-picklable by design: this is the function the
+    process pool ships to workers.
+    """
+    generator = GENERATORS[cell.generator]
+    algorithm = ALGORITHMS[cell.algorithm]
+
+    start = time.perf_counter()
+    graph = None
+    if generator.build is not None:
+        graph = generator.build(cell.n, cell.seed)
+    with MessageMeter() as meter:
+        fields = algorithm.run(graph, generator, cell.n)
+    wall_clock = time.perf_counter() - start
+
+    messages = meter.messages if meter.runs else None
+    return CellResult(
+        fingerprint=cell.fingerprint,
+        suite=suite_name,
+        scenario=cell.scenario,
+        generator=cell.generator,
+        algorithm=cell.algorithm,
+        n=cell.n,
+        seed=cell.seed,
+        rounds=fields["rounds"],
+        messages=messages,
+        wall_clock_s=wall_clock,
+        verified=bool(fields["verified"]),
+        k=fields.get("k"),
+        extras=dict(fields.get("extras", {})),
+    )
+
+
+@dataclass
+class CellFailure:
+    """A cell whose worker raised; kept out of the store so it is retried."""
+
+    cell: Cell
+    error: str
+
+
+@dataclass
+class SweepReport:
+    """Summary of one :meth:`SweepRunner.run` invocation."""
+
+    suite: str
+    total_cells: int
+    skipped: int
+    executed: int
+    unverified: int
+    failures: list[CellFailure] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.unverified == 0
+
+
+class SweepRunner:
+    """Run a suite's pending cells and append results to a store."""
+
+    def __init__(
+        self,
+        suite: Suite,
+        store: ResultStore,
+        jobs: int = 1,
+        smoke: bool = False,
+        sizes: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self.suite = suite
+        self.store = store
+        self.jobs = jobs
+        self.smoke = smoke
+        self.sizes = sizes
+        self.seeds = seeds
+
+    def pending_cells(self) -> tuple[list[Cell], int]:
+        """The cells still to run, and how many the store already covers."""
+        cells = self.suite.cells(smoke=self.smoke, sizes=self.sizes, seeds=self.seeds)
+        completed = self.store.completed_fingerprints()
+        pending = [cell for cell in cells if cell.fingerprint not in completed]
+        return pending, len(cells) - len(pending)
+
+    def run(self, progress: Callable[[CellResult], None] | None = None) -> SweepReport:
+        """Execute every pending cell; append each result as it completes."""
+        start = time.perf_counter()
+        pending, skipped = self.pending_cells()
+        report = SweepReport(
+            suite=self.suite.name,
+            total_cells=len(pending) + skipped,
+            skipped=skipped,
+            executed=0,
+            unverified=0,
+        )
+
+        def record(result: CellResult) -> None:
+            self.store.append(result)
+            report.executed += 1
+            if not result.verified:
+                report.unverified += 1
+            if progress is not None:
+                progress(result)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for cell in pending:
+                try:
+                    record(run_cell(self.suite.name, cell))
+                except Exception as error:  # noqa: BLE001 - collected, reported
+                    report.failures.append(CellFailure(cell, repr(error)))
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(run_cell, self.suite.name, cell): cell
+                    for cell in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        cell = futures[future]
+                        try:
+                            record(future.result())
+                        except Exception as error:  # noqa: BLE001
+                            report.failures.append(CellFailure(cell, repr(error)))
+
+        report.wall_clock_s = time.perf_counter() - start
+        return report

@@ -1,0 +1,685 @@
+"""Declarative scenario specifications and the built-in suite registry.
+
+A :class:`ScenarioSpec` binds one *generator family* (random trees, forest
+unions, planar-triangulation-like graphs, bounded-degree random graphs, or
+the analytic pseudo-family) to one *algorithm family* (a registered truly
+local baseline run directly, a :func:`~repro.core.solve_on_tree` /
+:func:`~repro.core.solve_on_bounded_arboricity` transform, or an analytic
+cost-model prediction) over a size sweep and a seed list.  A :class:`Suite`
+is a named tuple of scenarios; the built-in suites (``paper-claims``,
+``scaling``, ``stress``) are registered in :data:`SUITES`.
+
+Everything here is plain declarative data — strings, ints and registry
+lookups — so a :class:`Cell` travels to worker processes as a tiny
+picklable payload and the worker re-resolves the registries locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+import networkx as nx
+
+from repro.baselines import (
+    DegPlusOneColoringAlgorithm,
+    EdgeColoringAlgorithm,
+    MISAlgorithm,
+    MaximalMatchingAlgorithm,
+    color_forest_three,
+    deg_plus_one_coloring,
+    edge_degree_plus_one_coloring,
+    linial_coloring,
+    maximal_independent_set,
+    maximal_matching,
+)
+from repro.core import solve_on_bounded_arboricity, solve_on_tree
+from repro.core.complexity import mm_mis_tree_bound, polylog, predicted_rounds_tree
+from repro.generators import (
+    bfs_forest_parents,
+    forest_union,
+    planar_triangulation_like,
+    random_graph_with_max_degree,
+    random_tree,
+)
+from repro.problems.classic import (
+    is_deg_plus_one_coloring,
+    is_edge_degree_plus_one_coloring,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_vertex_coloring,
+)
+from repro.experiments.store import cell_fingerprint
+
+__all__ = [
+    "GeneratorFamily",
+    "AlgorithmFamily",
+    "ScenarioSpec",
+    "Cell",
+    "Suite",
+    "GENERATORS",
+    "ALGORITHMS",
+    "SUITES",
+    "register_generator",
+    "register_algorithm",
+    "register_suite",
+    "get_suite",
+    "ANALYTIC_GENERATOR",
+]
+
+#: Name of the pseudo-generator for analytic (cost-model) cells.
+ANALYTIC_GENERATOR = "analytic"
+
+#: Sizes of the analytic cells: n = 2^L for L large enough that the
+#: asymptotic shape dominates, small enough that log₂ n stays exact.
+ANALYTIC_SIZES = tuple(2**exponent for exponent in (64, 128, 256, 512, 1000))
+
+
+# ----------------------------------------------------------------------
+# generator families
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeneratorFamily:
+    """A named, seeded instance family.
+
+    ``arboricity`` is the *a priori* bound handed to the bounded-arboricity
+    transform; ``None`` means no bound is declared and arboricity-transform
+    algorithms refuse the pairing.  ``is_forest`` gates the tree-transform
+    and rooted-forest algorithms.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, int], nx.Graph] | None
+    arboricity: int | None = None
+    is_forest: bool = False
+
+
+GENERATORS: dict[str, GeneratorFamily] = {}
+
+
+def register_generator(family: GeneratorFamily) -> GeneratorFamily:
+    if family.name in GENERATORS:
+        raise ValueError(f"generator family {family.name!r} already registered")
+    GENERATORS[family.name] = family
+    return family
+
+
+register_generator(GeneratorFamily(
+    name="random-tree",
+    description="uniformly random labelled tree (Prüfer sequence)",
+    build=lambda n, seed: random_tree(n, seed=seed),
+    arboricity=1,
+    is_forest=True,
+))
+register_generator(GeneratorFamily(
+    name="forest-union-2",
+    description="union of 2 random forests on a shared node set (arboricity ≤ 2)",
+    build=lambda n, seed: forest_union(n, 2, seed=seed),
+    arboricity=2,
+))
+register_generator(GeneratorFamily(
+    name="planar-triangulation",
+    description="Apollonian-style planar triangulation (arboricity ≤ 3)",
+    build=lambda n, seed: planar_triangulation_like(n, seed=seed),
+    arboricity=3,
+))
+register_generator(GeneratorFamily(
+    name="bounded-degree-8",
+    description="random graph with maximum degree 8",
+    build=lambda n, seed: random_graph_with_max_degree(n, 8, seed=seed),
+    arboricity=None,
+))
+register_generator(GeneratorFamily(
+    name=ANALYTIC_GENERATOR,
+    description="no graph: n is fed to the analytic complexity model",
+    build=None,
+    arboricity=None,
+))
+
+
+# ----------------------------------------------------------------------
+# algorithm families
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AlgorithmFamily:
+    """A named way of producing a measured (or predicted) result on a cell.
+
+    ``run(graph, generator, n)`` returns a dict with at least ``rounds``
+    (numeric) and ``verified`` (bool); optional keys: ``k``, ``extras``.
+    ``covers`` names the entries of :mod:`repro.baselines` ``__all__`` the
+    family exercises — the registry-completeness test checks every
+    registered baseline is covered by some suite.
+    """
+
+    name: str
+    description: str
+    kind: str  # "baseline" | "tree-transform" | "arboricity-transform" | "analytic"
+    run: Callable[[nx.Graph | None, GeneratorFamily, int], dict]
+    covers: tuple[str, ...] = ()
+    requires_forest: bool = False
+
+    def compatible_with(self, generator: GeneratorFamily) -> str | None:
+        """``None`` if the pairing is valid, else a human-readable reason."""
+        if self.kind == "analytic":
+            if generator.name != ANALYTIC_GENERATOR:
+                return "analytic algorithms pair only with the 'analytic' generator"
+            return None
+        if generator.name == ANALYTIC_GENERATOR:
+            return "the 'analytic' generator pairs only with analytic algorithms"
+        if self.requires_forest and not generator.is_forest:
+            return "requires a forest generator"
+        if self.kind == "arboricity-transform" and generator.arboricity is None:
+            return "requires a generator with a declared arboricity bound"
+        return None
+
+
+ALGORITHMS: dict[str, AlgorithmFamily] = {}
+
+
+def register_algorithm(family: AlgorithmFamily) -> AlgorithmFamily:
+    if family.name in ALGORITHMS:
+        raise ValueError(f"algorithm family {family.name!r} already registered")
+    ALGORITHMS[family.name] = family
+    return family
+
+
+def _transform_fields(result) -> dict:
+    ok = bool(result.verification.ok) and result.classic is not None
+    return {
+        "rounds": result.rounds,
+        "verified": ok,
+        "k": result.k,
+        "extras": {"phases": result.ledger.breakdown()},
+    }
+
+
+def _run_tree_transform(adapter_factory):
+    def run(graph, generator, n):
+        return _transform_fields(solve_on_tree(graph, adapter_factory()))
+    return run
+
+
+def _run_arboricity_transform(adapter_factory):
+    def run(graph, generator, n):
+        result = solve_on_bounded_arboricity(
+            graph, generator.arboricity, adapter_factory()
+        )
+        return _transform_fields(result)
+    return run
+
+
+def _run_baseline_deg_plus_one(graph, generator, n):
+    run = deg_plus_one_coloring(graph)
+    return {
+        "rounds": run.rounds,
+        "verified": is_deg_plus_one_coloring(graph, run.colours),
+        "extras": {"palette_after_linial": run.palette_after_linial},
+    }
+
+
+def _run_baseline_edge_coloring(graph, generator, n):
+    run = edge_degree_plus_one_coloring(graph)
+    return {
+        "rounds": run.rounds,
+        "verified": is_edge_degree_plus_one_coloring(graph, run.colours),
+        "extras": {"colours_used": len(set(run.colours.values()))},
+    }
+
+
+def _run_baseline_mis(graph, generator, n):
+    run = maximal_independent_set(graph)
+    return {
+        "rounds": run.rounds,
+        "verified": is_maximal_independent_set(graph, run.independent_set),
+        "extras": {"mis_size": len(run.independent_set)},
+    }
+
+
+def _run_baseline_matching(graph, generator, n):
+    run = maximal_matching(graph)
+    return {
+        "rounds": run.rounds,
+        "verified": is_maximal_matching(graph, [tuple(e) for e in run.matching]),
+        "extras": {"matching_size": len(run.matching)},
+    }
+
+
+def _run_baseline_linial(graph, generator, n):
+    colours, palette, rounds = linial_coloring(graph)
+    verified = is_proper_vertex_coloring(graph, colours) and (
+        max(colours.values(), default=1) <= palette
+    )
+    return {
+        "rounds": rounds,
+        "verified": verified,
+        "extras": {"palette": palette},
+    }
+
+
+def _run_baseline_forest_three(graph, generator, n):
+    colours, rounds = color_forest_three(graph, bfs_forest_parents(graph))
+    verified = is_proper_vertex_coloring(graph, colours) and (
+        max(colours.values(), default=1) <= 3
+    )
+    return {"rounds": rounds, "verified": verified}
+
+
+def _run_analytic(predict):
+    def run(graph, generator, n):
+        value = float(predict(n))
+        return {"rounds": value, "verified": value > 0}
+    return run
+
+
+register_algorithm(AlgorithmFamily(
+    name="tree-deg+1-coloring",
+    description="Theorem 12 transform of the (deg+1)-colouring baseline on trees",
+    kind="tree-transform",
+    run=_run_tree_transform(DegPlusOneColoringAlgorithm),
+    covers=("DegPlusOneColoringAlgorithm", "deg_plus_one_coloring"),
+    requires_forest=True,
+))
+register_algorithm(AlgorithmFamily(
+    name="tree-mis",
+    description="Theorem 12 transform of the MIS baseline on trees",
+    kind="tree-transform",
+    run=_run_tree_transform(MISAlgorithm),
+    covers=("MISAlgorithm", "maximal_independent_set"),
+    requires_forest=True,
+))
+register_algorithm(AlgorithmFamily(
+    name="arb-edge-coloring",
+    description="Theorem 15 transform of (edge-degree+1)-edge colouring "
+    "(Theorem 3 on trees)",
+    kind="arboricity-transform",
+    run=_run_arboricity_transform(EdgeColoringAlgorithm),
+    covers=("EdgeColoringAlgorithm", "edge_degree_plus_one_coloring"),
+))
+register_algorithm(AlgorithmFamily(
+    name="arb-matching",
+    description="Theorem 15 transform of the maximal matching baseline",
+    kind="arboricity-transform",
+    run=_run_arboricity_transform(MaximalMatchingAlgorithm),
+    covers=("MaximalMatchingAlgorithm", "maximal_matching"),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-deg+1-coloring",
+    description="direct (deg+1)-colouring baseline, O(Δ² + log* n) rounds",
+    kind="baseline",
+    run=_run_baseline_deg_plus_one,
+    covers=("deg_plus_one_coloring",),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-edge-coloring",
+    description="direct (edge-degree+1)-edge colouring baseline",
+    kind="baseline",
+    run=_run_baseline_edge_coloring,
+    covers=("edge_degree_plus_one_coloring",),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-mis",
+    description="direct MIS baseline (colour-class sweep)",
+    kind="baseline",
+    run=_run_baseline_mis,
+    covers=("maximal_independent_set",),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-matching",
+    description="direct maximal matching baseline (edge-colour sweep)",
+    kind="baseline",
+    run=_run_baseline_matching,
+    covers=("maximal_matching",),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-linial",
+    description="Linial colour reduction to O(Δ²) colours",
+    kind="baseline",
+    run=_run_baseline_linial,
+    covers=("linial_coloring",),
+))
+register_algorithm(AlgorithmFamily(
+    name="baseline-forest-3coloring",
+    description="Cole–Vishkin 3-colouring of a rooted forest",
+    kind="baseline",
+    run=_run_baseline_forest_three,
+    covers=("color_forest_three",),
+    requires_forest=True,
+))
+register_algorithm(AlgorithmFamily(
+    name="predicted-edge-coloring-log12",
+    description="Theorem 1 prediction f(g(n)) + log* n with f(Δ)=log¹²Δ "
+    "(the BBKO22b black box of Theorem 3)",
+    kind="analytic",
+    run=_run_analytic(lambda n: predicted_rounds_tree(polylog(12), n)),
+))
+register_algorithm(AlgorithmFamily(
+    name="predicted-mm-mis-barrier",
+    description="the Θ(log n / log log n) MIS / matching barrier on trees",
+    kind="analytic",
+    run=_run_analytic(mm_mis_tree_bound),
+))
+
+
+# ----------------------------------------------------------------------
+# scenarios, cells and suites
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One (scenario, n, seed) unit of work — the runner's picklable payload."""
+
+    scenario: str
+    generator: str
+    algorithm: str
+    n: int
+    seed: int
+
+    @property
+    def fingerprint(self) -> str:
+        return cell_fingerprint(self.generator, self.algorithm, self.n, self.seed)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A generator × algorithm pairing swept over sizes and seeds."""
+
+    name: str
+    generator: str
+    algorithm: str
+    sizes: tuple[int, ...]
+    seeds: tuple[int, ...] = (1,)
+    smoke_sizes: tuple[int, ...] | None = None
+
+    def validate(self) -> None:
+        if self.generator not in GENERATORS:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown generator {self.generator!r} "
+                f"(known: {sorted(GENERATORS)})"
+            )
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown algorithm {self.algorithm!r} "
+                f"(known: {sorted(ALGORITHMS)})"
+            )
+        if not self.sizes or not self.seeds:
+            raise ValueError(f"scenario {self.name!r}: empty size or seed sweep")
+        reason = ALGORITHMS[self.algorithm].compatible_with(GENERATORS[self.generator])
+        if reason is not None:
+            raise ValueError(
+                f"scenario {self.name!r}: {self.algorithm!r} cannot run on "
+                f"{self.generator!r}: {reason}"
+            )
+
+    @property
+    def is_analytic(self) -> bool:
+        return ALGORITHMS[self.algorithm].kind == "analytic"
+
+    def cells(self, smoke: bool = False) -> Iterator[Cell]:
+        """Enumerate the scenario's cells.
+
+        Analytic cells are free to evaluate, so ``smoke`` never shrinks
+        them — the Theorem 3 shape check stays intact even in CI smoke
+        sweeps.
+        """
+        sizes, seeds = self.sizes, self.seeds
+        if smoke and not self.is_analytic:
+            sizes = self.smoke_sizes or tuple(sorted(self.sizes)[:2])
+            seeds = self.seeds[:1]
+        for n in sizes:
+            for seed in seeds:
+                yield Cell(self.name, self.generator, self.algorithm, n, seed)
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named collection of scenarios run and reported together."""
+
+    name: str
+    description: str
+    scenarios: tuple[ScenarioSpec, ...]
+
+    def validate(self) -> None:
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"suite {self.name!r}: duplicate scenario names")
+        for scenario in self.scenarios:
+            scenario.validate()
+
+    def cells(
+        self,
+        smoke: bool = False,
+        sizes: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+    ) -> list[Cell]:
+        """All cells of the suite, deduplicated by fingerprint.
+
+        ``sizes`` / ``seeds`` override the sweep of every *measured*
+        scenario (analytic scenarios keep their asymptotic sizes — a CLI
+        ``--sizes 100`` should not destroy the shape fit).
+        """
+        self.validate()
+        cells: list[Cell] = []
+        seen: set[str] = set()
+        for scenario in self.scenarios:
+            swept = scenario
+            if not scenario.is_analytic:
+                if sizes is not None:
+                    swept = replace(swept, sizes=tuple(sizes), smoke_sizes=None)
+                if seeds is not None:
+                    swept = replace(swept, seeds=tuple(seeds))
+            for cell in swept.cells(smoke=smoke):
+                if cell.fingerprint in seen:
+                    continue
+                seen.add(cell.fingerprint)
+                cells.append(cell)
+        return cells
+
+
+SUITES: dict[str, Suite] = {}
+
+
+def register_suite(suite: Suite) -> Suite:
+    if suite.name in SUITES:
+        raise ValueError(f"suite {suite.name!r} already registered")
+    suite.validate()
+    SUITES[suite.name] = suite
+    return suite
+
+
+def get_suite(name: str) -> Suite:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; registered suites: {sorted(SUITES)}"
+        ) from None
+
+
+register_suite(Suite(
+    name="paper-claims",
+    description="the transforms behind Theorems 3, 12 and 15 on random trees "
+    "and planar graphs, plus the analytic Theorem 3 shape cells",
+    scenarios=(
+        ScenarioSpec(
+            name="edge-coloring/tree-transform",
+            generator="random-tree",
+            algorithm="arb-edge-coloring",
+            sizes=(100, 300, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(40, 80),
+        ),
+        ScenarioSpec(
+            name="mis/tree-transform",
+            generator="random-tree",
+            algorithm="tree-mis",
+            sizes=(100, 300, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(40, 80),
+        ),
+        ScenarioSpec(
+            name="matching/tree-transform",
+            generator="random-tree",
+            algorithm="arb-matching",
+            sizes=(100, 300, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(40, 80),
+        ),
+        ScenarioSpec(
+            name="deg+1-coloring/tree-transform",
+            generator="random-tree",
+            algorithm="tree-deg+1-coloring",
+            sizes=(100, 300, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(40, 80),
+        ),
+        ScenarioSpec(
+            name="edge-coloring/planar",
+            generator="planar-triangulation",
+            algorithm="arb-edge-coloring",
+            sizes=(120, 250),
+            seeds=(1,),
+            smoke_sizes=(40,),
+        ),
+        ScenarioSpec(
+            name="theorem3-shape/predicted",
+            generator=ANALYTIC_GENERATOR,
+            algorithm="predicted-edge-coloring-log12",
+            sizes=ANALYTIC_SIZES,
+            seeds=(0,),
+        ),
+        ScenarioSpec(
+            name="barrier-shape/predicted",
+            generator=ANALYTIC_GENERATOR,
+            algorithm="predicted-mm-mis-barrier",
+            sizes=ANALYTIC_SIZES,
+            seeds=(0,),
+        ),
+    ),
+))
+
+register_suite(Suite(
+    name="scaling",
+    description="transforms and every direct baseline on growing random trees",
+    scenarios=(
+        ScenarioSpec(
+            name="edge-coloring/tree-transform",
+            generator="random-tree",
+            algorithm="arb-edge-coloring",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="mis/tree-transform",
+            generator="random-tree",
+            algorithm="tree-mis",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="deg+1-coloring/baseline",
+            generator="random-tree",
+            algorithm="baseline-deg+1-coloring",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="edge-coloring/baseline",
+            generator="random-tree",
+            algorithm="baseline-edge-coloring",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="mis/baseline",
+            generator="random-tree",
+            algorithm="baseline-mis",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="matching/baseline",
+            generator="random-tree",
+            algorithm="baseline-matching",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="linial/baseline",
+            generator="random-tree",
+            algorithm="baseline-linial",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+        ScenarioSpec(
+            name="forest-3coloring/baseline",
+            generator="random-tree",
+            algorithm="baseline-forest-3coloring",
+            sizes=(100, 200, 400, 800, 1600),
+            seeds=(1, 2, 3),
+            smoke_sizes=(50, 100),
+        ),
+    ),
+))
+
+register_suite(Suite(
+    name="stress",
+    description="denser families: forest unions, planar triangulations and "
+    "bounded-degree random graphs",
+    scenarios=(
+        ScenarioSpec(
+            name="edge-coloring/forest-union",
+            generator="forest-union-2",
+            algorithm="arb-edge-coloring",
+            sizes=(200, 400),
+            seeds=(1, 2),
+            smoke_sizes=(60,),
+        ),
+        ScenarioSpec(
+            name="matching/forest-union",
+            generator="forest-union-2",
+            algorithm="arb-matching",
+            sizes=(200, 400),
+            seeds=(1, 2),
+            smoke_sizes=(60,),
+        ),
+        ScenarioSpec(
+            name="matching/planar",
+            generator="planar-triangulation",
+            algorithm="baseline-matching",
+            sizes=(200, 400),
+            seeds=(1, 2),
+            smoke_sizes=(60,),
+        ),
+        ScenarioSpec(
+            name="deg+1-coloring/bounded-degree",
+            generator="bounded-degree-8",
+            algorithm="baseline-deg+1-coloring",
+            sizes=(500, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(100,),
+        ),
+        ScenarioSpec(
+            name="linial/bounded-degree",
+            generator="bounded-degree-8",
+            algorithm="baseline-linial",
+            sizes=(500, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(100,),
+        ),
+        ScenarioSpec(
+            name="mis/bounded-degree",
+            generator="bounded-degree-8",
+            algorithm="baseline-mis",
+            sizes=(500, 1000),
+            seeds=(1, 2),
+            smoke_sizes=(100,),
+        ),
+    ),
+))

@@ -1,0 +1,178 @@
+"""The resumable result store: append-only JSONL keyed by cell fingerprints.
+
+Every sweep cell — one (scenario, n, seed) combination — has a
+deterministic :func:`cell_fingerprint` derived from the quantities that
+define the computation (generator, algorithm, n, seed).  The store appends
+one JSON record per completed cell and flushes after every write, so
+
+* a crashed sweep loses at most the cell that was being written,
+* re-running a suite skips every fingerprint already on disk, and
+* two suites sharing a cell (same generator/algorithm/n/seed) share the
+  completed record.
+
+A truncated final line (the signature of a crash mid-write) is tolerated
+and simply re-run; corruption anywhere else raises, because silently
+dropping completed results would make resumed sweeps lie.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["cell_fingerprint", "CellResult", "ResultStore"]
+
+
+def cell_fingerprint(generator: str, algorithm: str, n: int, seed: int) -> str:
+    """A deterministic 16-hex-digit fingerprint of one sweep cell.
+
+    The fingerprint covers exactly the inputs that determine the cell's
+    computation; the suite and scenario names are cosmetic groupings and
+    deliberately excluded, so identical cells dedupe across suites.
+    """
+    payload = json.dumps(
+        {"generator": generator, "algorithm": algorithm, "n": int(n), "seed": int(seed)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CellResult:
+    """The structured outcome of one executed sweep cell."""
+
+    fingerprint: str
+    suite: str
+    scenario: str
+    generator: str
+    algorithm: str
+    n: int
+    seed: int
+    rounds: float
+    messages: int | None
+    wall_clock_s: float
+    verified: bool
+    k: int | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSON-serialisable record written to the store."""
+        return {
+            "fingerprint": self.fingerprint,
+            "suite": self.suite,
+            "scenario": self.scenario,
+            "generator": self.generator,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "wall_clock_s": round(self.wall_clock_s, 6),
+            "verified": self.verified,
+            "k": self.k,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "CellResult":
+        return cls(
+            fingerprint=record["fingerprint"],
+            suite=record["suite"],
+            scenario=record["scenario"],
+            generator=record["generator"],
+            algorithm=record["algorithm"],
+            n=record["n"],
+            seed=record["seed"],
+            rounds=record["rounds"],
+            messages=record.get("messages"),
+            wall_clock_s=record.get("wall_clock_s", 0.0),
+            verified=bool(record["verified"]),
+            k=record.get("k"),
+            extras=dict(record.get("extras", {})),
+        )
+
+
+class ResultStore:
+    """An append-only JSONL file of :class:`CellResult` records."""
+
+    def __init__(self, directory: str | Path, filename: str = "results.jsonl") -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / filename
+
+    def append(self, result: CellResult) -> None:
+        """Append one record and flush, so a crash loses at most this cell."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._repair_truncated_tail()
+        line = json.dumps(result.to_record(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def _repair_truncated_tail(self) -> None:
+        """Drop a partial final record left by a crash mid-append.
+
+        Without this, appending after a crash would concatenate the new
+        record onto the truncated fragment and corrupt both lines.
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with open(self.path, "r+b") as handle:
+            handle.seek(-1, 2)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            keep = data.rfind(b"\n") + 1  # 0 when no complete line exists
+            handle.truncate(keep)
+
+    def records(self) -> list[dict[str, Any]]:
+        """All parseable records, tolerating a truncated final line."""
+        if not self.path.exists():
+            return []
+        records: list[dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # A crash mid-append leaves a truncated last line; the
+                    # cell is simply treated as not completed and re-run.
+                    continue
+                raise ValueError(
+                    f"{self.path}: corrupt record on line {index + 1} "
+                    f"(only the final line may be truncated): {stripped[:80]!r}"
+                )
+        return records
+
+    def results(self) -> list[CellResult]:
+        return [CellResult.from_record(record) for record in self.records()]
+
+    def completed_fingerprints(self) -> set[str]:
+        """Fingerprints of every completed-and-verified cell on disk.
+
+        Unverified records do *not* count as completed: a cell whose
+        verification failed is re-run on resume rather than silently kept.
+        """
+        return {
+            record["fingerprint"]
+            for record in self.records()
+            if record.get("verified")
+        }
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def __iter__(self) -> Iterator[CellResult]:
+        return iter(self.results())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(path={str(self.path)!r}, records={len(self)})"

@@ -9,6 +9,7 @@ test-suite and the experiment harness.
 
 from repro.generators.trees import (
     balanced_regular_tree,
+    bfs_forest_parents,
     binary_tree,
     caterpillar,
     path_graph,
@@ -26,6 +27,7 @@ from repro.generators.bounded_arboricity import (
 
 __all__ = [
     "balanced_regular_tree",
+    "bfs_forest_parents",
     "binary_tree",
     "caterpillar",
     "path_graph",

@@ -96,6 +96,31 @@ def broom(handle_length: int, bristles: int) -> nx.Graph:
     return graph
 
 
+def bfs_forest_parents(forest: nx.Graph) -> dict:
+    """Parent pointers rooting every component of ``forest`` at its
+    smallest node (``None`` for roots).
+
+    The canonical input of :func:`repro.baselines.color_forest_three`; on a
+    tree the pointers are independent of the traversal order, so any BFS
+    yields the same dict.
+    """
+    parents: dict = {}
+    adj = forest.adj
+    for component in nx.connected_components(forest):
+        root = min(component)
+        parents[root] = None
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in adj[node]:
+                    if neighbor not in parents:
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+    return parents
+
+
 def random_tree(n: int, seed: int = 0) -> nx.Graph:
     """A uniformly random labelled tree on ``n`` nodes (via a Prüfer sequence)."""
     if n <= 0:

@@ -26,6 +26,7 @@ from repro.local.csr import CSRAdjacency
 from repro.local.network import Network
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
 from repro.local.simulator import (
+    MessageMeter,
     RunResult,
     run_synchronous,
     run_synchronous_reference,
@@ -37,6 +38,7 @@ __all__ = [
     "Network",
     "NodeContext",
     "SynchronousAlgorithm",
+    "MessageMeter",
     "RunResult",
     "run_synchronous",
     "run_synchronous_reference",

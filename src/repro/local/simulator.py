@@ -43,6 +43,46 @@ from repro.local.algorithm import NodeContext, SynchronousAlgorithm
 from repro.local.network import Network
 
 
+# Meters currently in scope; every engine run reports its message count to
+# all of them.  Per-process state: forked sweep workers each meter their
+# own cells.
+_ACTIVE_METERS: list["MessageMeter"] = []
+
+
+class MessageMeter:
+    """Accumulates message and run counts of every engine run in scope.
+
+    The transformation pipelines invoke the simulator many times (Linial
+    iterations, colour-class sweeps, line-graph runs); a meter observes
+    them all without threading a counter through every call signature::
+
+        with MessageMeter() as meter:
+            solve_on_tree(tree, MISAlgorithm())
+        print(meter.messages, meter.runs)
+
+    Meters nest: each one in scope sees every run.
+    """
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.runs = 0
+
+    def __enter__(self) -> "MessageMeter":
+        _ACTIVE_METERS.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _ACTIVE_METERS.remove(self)
+        return False
+
+
+def _report_to_meters(result: "RunResult") -> "RunResult":
+    for meter in _ACTIVE_METERS:
+        meter.messages += result.messages_sent
+        meter.runs += 1
+    return result
+
+
 @dataclass
 class RunResult:
     """Result of simulating a synchronous algorithm on a network."""
@@ -160,12 +200,12 @@ def run_synchronous(
         active = still_active
 
     outputs = {node: algorithm.output(states[node], ctx) for node, ctx in contexts.items()}
-    return RunResult(
+    return _report_to_meters(RunResult(
         algorithm=algorithm.name,
         rounds=rounds,
         outputs=outputs,
         messages_sent=messages_sent,
-    )
+    ))
 
 
 # ----------------------------------------------------------------------
@@ -245,9 +285,9 @@ def run_synchronous_reference(
             states[node] = algorithm.transition(states[node], inboxes[node], ctx)
 
     outputs = {node: algorithm.output(states[node], ctx) for node, ctx in contexts.items()}
-    return RunResult(
+    return _report_to_meters(RunResult(
         algorithm=algorithm.name,
         rounds=rounds,
         outputs=outputs,
         messages_sent=messages_sent,
-    )
+    ))

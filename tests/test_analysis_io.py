@@ -1,0 +1,91 @@
+"""Round-trip tests for Measurement / MeasurementTable IO and curve errors."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Measurement,
+    MeasurementTable,
+    fit_power_of_log,
+    measurements_from_csv,
+    measurements_to_csv,
+)
+
+
+class TestMeasurementJson:
+    def test_json_round_trip(self):
+        measurement = Measurement(
+            "E1", "random-tree", 1000, 12.5, unit="rounds", extras={"seed": 7}
+        )
+        restored = Measurement.from_json(measurement.to_json())
+        assert restored == measurement
+
+    def test_from_dict_defaults(self):
+        restored = Measurement.from_dict(
+            {"experiment": "E", "instance": "i", "n": 10, "value": 1.0}
+        )
+        assert restored.unit == "rounds"
+        assert restored.extras == {}
+
+
+class TestMeasurementCsv:
+    def test_csv_round_trip(self):
+        measurements = [
+            Measurement("E1", "random-tree", 100, 12.0, extras={"seed": 1}),
+            Measurement("E1", "planar", 250, 31.5, unit="messages"),
+        ]
+        restored = measurements_from_csv(measurements_to_csv(measurements))
+        assert restored == measurements
+
+
+class TestMeasurementTableIO:
+    def make_table(self):
+        table = MeasurementTable("Scaling", ["n", "rounds", "status"])
+        table.add_row(100, 12.5, "ok")
+        table.add_row(1000, 15.0, "ok")
+        return table
+
+    def test_json_round_trip(self):
+        table = self.make_table()
+        restored = MeasurementTable.from_json(table.to_json())
+        assert restored.title == table.title
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows
+
+    def test_csv_round_trip_recovers_numbers(self):
+        table = self.make_table()
+        restored = MeasurementTable.from_csv(table.to_csv(), title=table.title)
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows  # ints and floats recovered
+        assert restored.render() == table.render()
+
+    def test_csv_of_empty_text_raises(self):
+        with pytest.raises(ValueError, match="empty CSV"):
+            MeasurementTable.from_csv("")
+
+
+class TestFitErrorReporting:
+    def test_error_names_dropped_points(self):
+        with pytest.raises(ValueError) as excinfo:
+            fit_power_of_log([1, 10], [5.0, -2.0])
+        message = str(excinfo.value)
+        assert "need at least two usable data points" in message
+        assert "(n=1, value=5.0)" in message
+        assert "(n=10, value=-2.0)" in message
+        assert "kept 0 of 2" in message
+
+    def test_error_with_single_usable_point(self):
+        with pytest.raises(ValueError, match=r"kept 1 of 2.*\(n=2, value=3\.0\)"):
+            fit_power_of_log([2, 16], [3.0, 4.0])
+
+    def test_error_without_dropped_points(self):
+        with pytest.raises(ValueError, match="received only 1 point"):
+            fit_power_of_log([16], [4.0])
+
+    def test_fit_still_recovers_exponent(self):
+        ns = [2**e for e in range(4, 40, 4)]
+        values = [3.0 * math.log2(n) ** 0.75 for n in ns]
+        beta, c = fit_power_of_log(ns, values)
+        assert beta == pytest.approx(0.75, abs=1e-6)
+        assert c == pytest.approx(3.0, rel=1e-6)

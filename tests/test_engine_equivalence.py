@@ -21,6 +21,7 @@ from repro.baselines.linial import LinialColoring
 from repro.baselines.mis import ColorClassMIS
 from repro.decomposition import arboricity_decomposition, rake_and_compress
 from repro.generators import (
+    bfs_forest_parents,
     forest_union,
     random_graph_with_max_degree,
     random_tree,
@@ -28,18 +29,6 @@ from repro.generators import (
 from repro.local import Network, run_synchronous, run_synchronous_reference
 
 
-def _bfs_parents(tree, root):
-    parents = {root: None}
-    frontier = [root]
-    while frontier:
-        next_frontier = []
-        for node in frontier:
-            for neighbor in tree.adj[node]:
-                if neighbor not in parents:
-                    parents[neighbor] = node
-                    next_frontier.append(neighbor)
-        frontier = next_frontier
-    return parents
 
 
 def _tree_instances():
@@ -88,7 +77,7 @@ def _networks():
             )
         )
     for name, tree in _tree_instances():
-        parents = _bfs_parents(tree, root=next(iter(tree.nodes())))
+        parents = bfs_forest_parents(tree)
         scenarios.append(
             (
                 f"forest-3-coloring/{name}",

@@ -1,0 +1,168 @@
+"""Runner tests: execution, determinism, resume, parallel equivalence."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    AlgorithmFamily,
+    ResultStore,
+    ScenarioSpec,
+    Suite,
+    SweepRunner,
+    register_algorithm,
+)
+from repro.experiments.spec import ALGORITHMS, ANALYTIC_GENERATOR
+
+TINY = Suite(
+    name="tiny",
+    description="test suite: two measured scenarios and one analytic",
+    scenarios=(
+        ScenarioSpec(
+            name="edge/tree", generator="random-tree",
+            algorithm="arb-edge-coloring", sizes=(24, 48), seeds=(1, 2),
+        ),
+        ScenarioSpec(
+            name="mis/tree", generator="random-tree",
+            algorithm="tree-mis", sizes=(24,), seeds=(1,),
+        ),
+        ScenarioSpec(
+            name="shape", generator=ANALYTIC_GENERATOR,
+            algorithm="predicted-edge-coloring-log12",
+            sizes=(2**64, 2**128), seeds=(0,),
+        ),
+    ),
+)
+
+
+def records_without_wall_clock(store: ResultStore) -> list[dict]:
+    records = store.records()
+    for record in records:
+        record.pop("wall_clock_s")
+    return records
+
+
+class TestExecution:
+    def test_runs_all_cells_verified(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = SweepRunner(TINY, store, jobs=1).run()
+        assert report.ok
+        assert report.executed == len(TINY.cells()) == 7
+        assert report.skipped == 0 and not report.failures
+        results = store.results()
+        assert all(result.verified for result in results)
+
+    def test_measured_cells_carry_messages_analytic_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run()
+        for result in store.results():
+            if result.generator == ANALYTIC_GENERATOR:
+                assert result.messages is None
+            else:
+                assert result.messages > 0
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        seen = []
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run(progress=seen.append)
+        assert len(seen) == 7
+
+
+class TestDeterminism:
+    def test_same_seeds_identical_jsonl_modulo_wall_clock(self, tmp_path):
+        store_a = ResultStore(tmp_path / "a")
+        store_b = ResultStore(tmp_path / "b")
+        SweepRunner(TINY, store_a, jobs=1).run()
+        SweepRunner(TINY, store_b, jobs=1).run()
+        assert records_without_wall_clock(store_a) == records_without_wall_clock(store_b)
+
+    def test_parallel_matches_serial_as_sets(self, tmp_path):
+        store_serial = ResultStore(tmp_path / "serial")
+        store_parallel = ResultStore(tmp_path / "parallel")
+        SweepRunner(TINY, store_serial, jobs=1).run()
+        report = SweepRunner(TINY, store_parallel, jobs=2).run()
+        assert report.ok
+
+        def keyed(store):
+            return {
+                record["fingerprint"]: record
+                for record in records_without_wall_clock(store)
+            }
+
+        assert keyed(store_serial) == keyed(store_parallel)
+
+
+class TestResume:
+    def test_second_run_skips_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run()
+        report = SweepRunner(TINY, store, jobs=1).run()
+        assert report.executed == 0
+        assert report.skipped == report.total_cells == 7
+        assert len(store) == 7
+
+    def test_resume_after_simulated_crash(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run()
+        lines = store.path.read_text().splitlines()
+        # Keep 3 complete records and a truncated 4th: a crash mid-append.
+        store.path.write_text("\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2])
+        crashed = ResultStore(tmp_path)
+        assert len(crashed.records()) == 3
+        report = SweepRunner(TINY, crashed, jobs=1).run()
+        assert report.skipped == 3
+        assert report.executed == 4
+        assert crashed.completed_fingerprints() == {
+            cell.fingerprint for cell in TINY.cells()
+        }
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run()
+        lines = store.path.read_text().splitlines()
+        lines[1] = lines[1][:10]
+        store.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            ResultStore(tmp_path).records()
+
+    def test_unverified_records_are_rerun(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SweepRunner(TINY, store, jobs=1).run()
+        records = store.records()
+        records[0]["verified"] = False
+        store.path.write_text(
+            "\n".join(json.dumps(record, sort_keys=True) for record in records) + "\n"
+        )
+        report = SweepRunner(TINY, ResultStore(tmp_path), jobs=1).run()
+        assert report.executed == 1
+
+
+class TestFailures:
+    def test_raising_cells_reported_not_stored(self, tmp_path):
+        if "_test-boom" not in ALGORITHMS:
+            def boom(graph, generator, n):
+                raise RuntimeError("boom")
+
+            register_algorithm(AlgorithmFamily(
+                name="_test-boom", description="always raises", kind="baseline",
+                run=boom,
+            ))
+        suite = Suite(
+            name="boom", description="", scenarios=(
+                ScenarioSpec(
+                    name="boom", generator="random-tree", algorithm="_test-boom",
+                    sizes=(10,),
+                ),
+                ScenarioSpec(
+                    name="ok", generator="random-tree", algorithm="baseline-mis",
+                    sizes=(10,),
+                ),
+            ),
+        )
+        store = ResultStore(tmp_path)
+        report = SweepRunner(suite, store, jobs=1).run()
+        assert not report.ok
+        assert len(report.failures) == 1
+        assert "boom" in report.failures[0].error
+        assert report.executed == 1  # the healthy cell still ran and stored
+        assert len(store) == 1

@@ -1,0 +1,142 @@
+"""Spec registry tests: suite validity, completeness, cell enumeration."""
+
+import pytest
+
+import repro.baselines as baselines
+from repro.experiments import (
+    ALGORITHMS,
+    GENERATORS,
+    SUITES,
+    ScenarioSpec,
+    get_suite,
+)
+from repro.experiments.spec import ANALYTIC_GENERATOR
+
+#: Interface / cost-model names in repro.baselines.__all__ that are not
+#: themselves runnable baselines.
+NON_ALGORITHM_EXPORTS = {"TrulyLocalAlgorithm", "OracleCostModel"}
+
+
+class TestRegistries:
+    def test_builtin_suites_registered(self):
+        assert {"paper-claims", "scaling", "stress"} <= set(SUITES)
+
+    def test_every_suite_validates(self):
+        for suite in SUITES.values():
+            suite.validate()
+
+    def test_every_registered_baseline_appears_in_a_suite(self):
+        """Registry completeness: each baseline exported by repro.baselines
+        is exercised (via `covers`) by some scenario of some suite."""
+        registered = set(baselines.__all__) - NON_ALGORITHM_EXPORTS
+        covered = set()
+        for suite in SUITES.values():
+            for scenario in suite.scenarios:
+                covered.update(ALGORITHMS[scenario.algorithm].covers)
+        missing = registered - covered
+        assert not missing, f"baselines never exercised by any suite: {sorted(missing)}"
+
+    def test_every_generator_family_used_by_a_suite(self):
+        used = {
+            scenario.generator
+            for suite in SUITES.values()
+            for scenario in suite.scenarios
+        }
+        assert used == set(GENERATORS)
+
+    def test_get_suite_names_known_suites_on_miss(self):
+        with pytest.raises(KeyError, match="paper-claims"):
+            get_suite("no-such-suite")
+
+
+class TestScenarioValidation:
+    def test_tree_transform_rejects_non_forest_generator(self):
+        spec = ScenarioSpec(
+            name="bad", generator="planar-triangulation", algorithm="tree-mis",
+            sizes=(10,),
+        )
+        with pytest.raises(ValueError, match="forest"):
+            spec.validate()
+
+    def test_arboricity_transform_rejects_unbounded_generator(self):
+        spec = ScenarioSpec(
+            name="bad", generator="bounded-degree-8", algorithm="arb-edge-coloring",
+            sizes=(10,),
+        )
+        with pytest.raises(ValueError, match="arboricity"):
+            spec.validate()
+
+    def test_analytic_pairing_is_exclusive(self):
+        with pytest.raises(ValueError, match="analytic"):
+            ScenarioSpec(
+                name="bad", generator="random-tree",
+                algorithm="predicted-edge-coloring-log12", sizes=(10,),
+            ).validate()
+        with pytest.raises(ValueError, match="analytic"):
+            ScenarioSpec(
+                name="bad", generator=ANALYTIC_GENERATOR,
+                algorithm="baseline-mis", sizes=(10,),
+            ).validate()
+
+    def test_unknown_names_are_reported(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            ScenarioSpec(
+                name="bad", generator="nope", algorithm="baseline-mis", sizes=(10,)
+            ).validate()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            ScenarioSpec(
+                name="bad", generator="random-tree", algorithm="nope", sizes=(10,)
+            ).validate()
+
+
+class TestCellEnumeration:
+    def test_cell_count_and_fingerprint_uniqueness(self):
+        suite = get_suite("paper-claims")
+        cells = suite.cells()
+        expected = sum(
+            len(s.sizes) * len(s.seeds) for s in suite.scenarios
+        )
+        assert len(cells) == expected
+        assert len({cell.fingerprint for cell in cells}) == len(cells)
+
+    def test_smoke_shrinks_measured_but_not_analytic(self):
+        suite = get_suite("paper-claims")
+        smoke = suite.cells(smoke=True)
+        full = suite.cells()
+        assert len(smoke) < len(full)
+        analytic_full = [c for c in full if c.generator == ANALYTIC_GENERATOR]
+        analytic_smoke = [c for c in smoke if c.generator == ANALYTIC_GENERATOR]
+        assert analytic_smoke == analytic_full
+        measured_smoke = [c for c in smoke if c.generator != ANALYTIC_GENERATOR]
+        for scenario in suite.scenarios:
+            if scenario.is_analytic or scenario.smoke_sizes is None:
+                continue
+            sizes = {c.n for c in measured_smoke if c.scenario == scenario.name}
+            assert sizes == set(scenario.smoke_sizes)
+            seeds = {c.seed for c in measured_smoke if c.scenario == scenario.name}
+            assert seeds == {scenario.seeds[0]}
+
+    def test_sizes_override_applies_to_measured_only(self):
+        suite = get_suite("paper-claims")
+        cells = suite.cells(sizes=(25,), seeds=(9,))
+        measured = [c for c in cells if c.generator != ANALYTIC_GENERATOR]
+        analytic = [c for c in cells if c.generator == ANALYTIC_GENERATOR]
+        assert {c.n for c in measured} == {25}
+        assert {c.seed for c in measured} == {9}
+        assert analytic == [
+            c for c in suite.cells() if c.generator == ANALYTIC_GENERATOR
+        ]
+
+    def test_shared_cells_dedupe_by_fingerprint(self):
+        first = ScenarioSpec(
+            name="a", generator="random-tree", algorithm="baseline-mis", sizes=(30,)
+        )
+        second = ScenarioSpec(
+            name="b", generator="random-tree", algorithm="baseline-mis", sizes=(30,)
+        )
+        from repro.experiments import Suite
+
+        suite = Suite(name="dup", description="", scenarios=(first, second))
+        cells = suite.cells()
+        assert len(cells) == 1
+        assert cells[0].scenario == "a"
