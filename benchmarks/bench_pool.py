@@ -1,0 +1,136 @@
+"""Persistent worker pool vs. per-sweep ProcessPoolExecutor.
+
+The service claim (ROADMAP "heavy traffic" item): on many-small-cell
+workloads the dominant cost of the `SweepRunner` path is *not* the cells —
+it is creating a fresh process pool per sweep and paying one task
+round trip per cell.  `WorkerPool` keeps the workers warm across sweeps
+and ships cells in batches, so the same job stream should run measurably
+faster.
+
+This benchmark replays the same stream of small sweeps through both paths
+and asserts the pool's speedup stays above a conservative floor
+(:data:`SPEEDUP_FLOOR`), recording both wall clocks in
+``benchmarks/results/bench_pool.json`` so the trajectory is visible per
+PR.  ``BENCH_SMOKE=1`` shrinks the stream for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pool.py
+    BENCH_SMOKE=1 PYTHONPATH=src python benchmarks/bench_pool.py
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _harness import record_json, scenario_entry  # noqa: E402
+
+from repro.experiments import ResultStore, ScenarioSpec, Suite, SweepRunner
+from repro.service import WorkerPool
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: The pool must beat the per-sweep-executor path by at least this factor
+#: on the many-small-cell stream.  Measured speedups are far higher (the
+#: executor path pays ~worker-count process startups per sweep); the floor
+#: only guards against a regression that loses the amortisation.
+SPEEDUP_FLOOR = 1.1
+
+WORKERS = 2
+SWEEPS = 3 if SMOKE else 6
+SEEDS = tuple(range(1, 6 if SMOKE else 11))
+SIZES = (12, 16, 20, 24)
+
+#: Each path is measured this many times and the best run is kept, so a
+#: single scheduling hiccup on a noisy CI runner cannot sink the ratio.
+REPEATS = 3
+
+
+def small_cell_suite(tag: int) -> Suite:
+    """One sweep's worth of tiny cells (distinct per-sweep seeds via tag)."""
+    return Suite(
+        name=f"bench-pool-{tag}",
+        description="many small cells: forest 3-colouring on tiny random trees",
+        scenarios=(
+            ScenarioSpec(
+                name="forest-3coloring/tiny-trees",
+                generator="random-tree",
+                algorithm="baseline-forest-3coloring",
+                sizes=SIZES,
+                seeds=tuple(seed + 100 * tag for seed in SEEDS),
+            ),
+        ),
+    )
+
+
+def run_executor_stream(base_dir: str) -> float:
+    """The PR 2 path: a fresh ProcessPoolExecutor per sweep, 1 cell/task."""
+    start = time.perf_counter()
+    for sweep in range(SWEEPS):
+        store = ResultStore(os.path.join(base_dir, f"executor-{sweep}"))
+        report = SweepRunner(small_cell_suite(sweep), store, jobs=WORKERS).run()
+        assert report.ok, f"executor sweep {sweep} failed: {report.failures}"
+    return time.perf_counter() - start
+
+
+def run_pool_stream(base_dir: str) -> float:
+    """The service path: one warm pool serving every sweep, batched cells."""
+    start = time.perf_counter()
+    with WorkerPool(workers=WORKERS) as pool:
+        for sweep in range(SWEEPS):
+            store = ResultStore(os.path.join(base_dir, f"pool-{sweep}"))
+            report = pool.run_suite(small_cell_suite(sweep), store)
+            assert report.ok, f"pool sweep {sweep} failed: {report.failures}"
+    return time.perf_counter() - start
+
+
+def best_of(stream, base_dir: str) -> float:
+    """The fastest of :data:`REPEATS` runs (fresh store dirs each time,
+    so resume-skipping can never shortcut a repeat)."""
+    return min(
+        stream(os.path.join(base_dir, f"repeat-{repeat}"))
+        for repeat in range(REPEATS)
+    )
+
+
+def main() -> None:
+    import tempfile
+
+    cells_per_sweep = len(SIZES) * len(SEEDS)
+    print(
+        f"bench_pool: {SWEEPS} sweeps x {cells_per_sweep} cells, "
+        f"{WORKERS} workers (smoke={SMOKE})"
+    )
+    with tempfile.TemporaryDirectory(prefix="bench_pool") as base_dir:
+        executor_s = best_of(run_executor_stream, os.path.join(base_dir, "executor"))
+        pool_s = best_of(run_pool_stream, os.path.join(base_dir, "pool"))
+
+    speedup = executor_s / pool_s if pool_s > 0 else float("inf")
+    print(f"  per-sweep executor: {executor_s:.3f}s")
+    print(f"  persistent pool:    {pool_s:.3f}s")
+    print(f"  speedup:            {speedup:.2f}x (floor: {SPEEDUP_FLOOR}x)")
+
+    record_json(
+        "bench_pool",
+        [
+            scenario_entry(
+                "executor-per-sweep", cells_per_sweep * SWEEPS, executor_s,
+                sweeps=SWEEPS, workers=WORKERS,
+            ),
+            scenario_entry(
+                "persistent-pool", cells_per_sweep * SWEEPS, pool_s,
+                sweeps=SWEEPS, workers=WORKERS, speedup=round(speedup, 3),
+            ),
+        ],
+        meta={"smoke": SMOKE, "speedup_floor": SPEEDUP_FLOOR},
+    )
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"persistent pool speedup {speedup:.2f}x fell below the "
+        f"{SPEEDUP_FLOOR}x floor over the per-sweep executor path"
+    )
+
+
+if __name__ == "__main__":
+    main()

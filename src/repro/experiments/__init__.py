@@ -33,9 +33,17 @@ from repro.experiments.spec import (
     register_generator,
     register_suite,
 )
-from repro.experiments.store import CellResult, ResultStore, cell_fingerprint
+from repro.experiments.store import (
+    CellResult,
+    MergeConflict,
+    MergeReport,
+    ResultStore,
+    cell_fingerprint,
+    merge_result_files,
+)
 from repro.experiments.runner import SweepReport, SweepRunner, default_jobs, run_cell
 from repro.experiments.report import ReportBundle, build_report
+from repro.experiments.shard import ShardSpec, partition, shard_cells
 
 __all__ = [
     "ALGORITHMS",
@@ -51,12 +59,18 @@ __all__ = [
     "register_generator",
     "register_suite",
     "CellResult",
+    "MergeConflict",
+    "MergeReport",
     "ResultStore",
     "cell_fingerprint",
+    "merge_result_files",
     "SweepReport",
     "SweepRunner",
     "default_jobs",
     "run_cell",
     "ReportBundle",
     "build_report",
+    "ShardSpec",
+    "partition",
+    "shard_cells",
 ]

@@ -1,4 +1,5 @@
-"""Command-line interface: ``python -m repro.experiments <run|list|report>``.
+"""Command-line interface:
+``python -m repro.experiments <run|list|report|merge|serve|submit>``.
 
 Examples::
 
@@ -8,6 +9,20 @@ Examples::
     python -m repro.experiments run scaling --sizes 100,300 --seeds 1
     python -m repro.experiments report
     python -m repro.experiments report --json report.json --csv report.csv
+
+Distributed sharding and the sweep service::
+
+    # machine A                                  # machine B
+    python -m repro.experiments run scaling \\
+        --shard 0/2 --out shards/a               ... --shard 1/2 --out shards/b
+    # then anywhere:
+    python -m repro.experiments merge --out experiments/results/results.jsonl \\
+        shards/a/results.jsonl shards/b/results.jsonl
+    python -m repro.experiments report
+
+    # long-lived worker pool serving many clients:
+    python -m repro.experiments serve --workers 4 &
+    python -m repro.experiments submit paper-claims --smoke --wait
 
 ``run`` appends to ``<out>/results.jsonl`` (default ``experiments/results``)
 and is resumable: completed-and-verified cells are skipped by fingerprint,
@@ -24,11 +39,18 @@ from pathlib import Path
 from repro.experiments.report import _format_n, build_report
 from repro.experiments.runner import SweepRunner, default_jobs
 from repro.experiments.spec import ALGORITHMS, GENERATORS, SUITES, get_suite
-from repro.experiments.store import CellResult, ResultStore
+from repro.experiments.store import (
+    DEFAULT_OUT,
+    CellResult,
+    ResultStore,
+    merge_result_files,
+)
+from repro.experiments.shard import ShardSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import DEFAULT_SOCKET, SweepDaemon
+from repro.service.pool import DEFAULT_BATCH_SIZE
 
 __all__ = ["main", "build_parser"]
-
-DEFAULT_OUT = "experiments/results"
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -41,6 +63,23 @@ def _int_list(text: str) -> tuple[int, ...]:
     return values
 
 
+def _shard_spec(text: str) -> ShardSpec:
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -48,31 +87,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run a suite's pending cells")
-    run.add_argument("suite", help=f"suite name (one of: {', '.join(sorted(SUITES))})")
-    run.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: min(cpu count, 8))",
-    )
-    run.add_argument(
+    # Sweep-shaping options shared verbatim by `run` and `submit`.
+    sweep_options = argparse.ArgumentParser(add_help=False)
+    sweep_options.add_argument(
         "--sizes", type=_int_list, default=None,
         help="override the size sweep of measured scenarios, e.g. --sizes 100,300",
     )
-    run.add_argument(
+    sweep_options.add_argument(
         "--seeds", type=_int_list, default=None,
         help="override the seed list of measured scenarios, e.g. --seeds 1,2,3",
+    )
+    sweep_options.add_argument(
+        "--smoke", action="store_true",
+        help="CI-size sweep: smoke sizes, first seed only (analytic cells unchanged)",
+    )
+    sweep_options.add_argument(
+        "--shard", type=_shard_spec, default=None, metavar="I/K",
+        help="run only shard i of k (deterministic disjoint fingerprint "
+        "partition), e.g. --shard 0/2",
+    )
+
+    run = sub.add_parser(
+        "run", help="run a suite's pending cells", parents=[sweep_options]
+    )
+    run.add_argument("suite", help=f"suite name (one of: {', '.join(sorted(SUITES))})")
+    run.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes (default: min(cpu count, 8))",
     )
     run.add_argument(
         "--out", default=DEFAULT_OUT,
         help=f"result-store directory (default: {DEFAULT_OUT})",
     )
-    run.add_argument(
-        "--smoke", action="store_true",
-        help="CI-size sweep: smoke sizes, first seed only (analytic cells unchanged)",
-    )
     run.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
 
     sub.add_parser("list", help="list suites, generators and algorithms")
+
+    merge = sub.add_parser(
+        "merge", help="union sharded JSONL result files into one store"
+    )
+    merge.add_argument(
+        "inputs", nargs="+",
+        help="JSONL result files to merge (e.g. shards/*/results.jsonl)",
+    )
+    merge.add_argument(
+        "--out", default=f"{DEFAULT_OUT}/results.jsonl",
+        help="merged JSONL output path; an existing file is treated as a "
+        f"first input (default: {DEFAULT_OUT}/results.jsonl)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep daemon: a persistent worker pool behind "
+        "a local socket",
+    )
+    serve.add_argument(
+        "--socket", default=DEFAULT_SOCKET,
+        help=f"Unix socket path to listen on (default: {DEFAULT_SOCKET})",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="warm worker processes (default: min(cpu count, 8))",
+    )
+    serve.add_argument(
+        "--batch-size", type=_positive_int, default=DEFAULT_BATCH_SIZE,
+        help=f"cells per task submission (default: {DEFAULT_BATCH_SIZE})",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep job to a running daemon",
+        parents=[sweep_options],
+    )
+    submit.add_argument("suite", help="suite name to run")
+    submit.add_argument(
+        "--socket", default=DEFAULT_SOCKET,
+        help=f"daemon socket path (default: {DEFAULT_SOCKET})",
+    )
+    submit.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"result-store directory on the daemon side (default: {DEFAULT_OUT})",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its summary",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="--wait timeout in seconds (default: 600)",
+    )
 
     report = sub.add_parser(
         "report", help="rebuild scaling tables and shape fits from stored results"
@@ -99,7 +200,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.out)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = SweepRunner(
-        suite, store, jobs=jobs, smoke=args.smoke, sizes=args.sizes, seeds=args.seeds
+        suite, store, jobs=jobs, smoke=args.smoke, sizes=args.sizes,
+        seeds=args.seeds, shard=args.shard,
     )
 
     def progress(result: CellResult) -> None:
@@ -113,7 +215,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"wall={result.wall_clock_s:.3f}s {status}"
         )
 
-    print(f"suite {suite.name!r}: {suite.description}")
+    shard_note = f" [shard {args.shard}]" if args.shard is not None else ""
+    print(f"suite {suite.name!r}{shard_note}: {suite.description}")
     report = runner.run(progress=None if args.quiet else progress)
     print(
         f"cells: {report.total_cells} total, {report.skipped} already stored, "
@@ -187,10 +290,98 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if bundle.all_verified else 1
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    report = merge_result_files(args.inputs, args.out)
+    for path in report.missing:
+        print(f"missing input (skipped): {path}", file=sys.stderr)
+    if report.records_read == 0:
+        print(
+            "no input file contributed any records; nothing written",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"merged {report.records_read} records from "
+        f"{len(report.inputs) - len(report.missing)} file(s) into {report.output}: "
+        f"{report.merged} cells, {report.duplicates} duplicates, "
+        f"{len(report.conflicts)} conflicts"
+    )
+    for conflict in report.conflicts:
+        print(f"CONFLICT {conflict.describe()}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        daemon = SweepDaemon(
+            socket_path=args.socket, workers=args.workers, batch_size=args.batch_size
+        )
+        daemon.start()
+    except (ValueError, RuntimeError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"sweep daemon: socket={args.socket} workers={daemon.pool.workers} "
+        f"batch-size={daemon.pool.batch_size}"
+    )
+    print("verbs: submit / status / results / shutdown  (ctrl-c also stops)")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.close()
+    print("sweep daemon stopped")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.socket)
+    try:
+        job_id = client.submit(
+            args.suite,
+            smoke=args.smoke,
+            sizes=args.sizes,
+            seeds=args.seeds,
+            shard=str(args.shard) if args.shard is not None else None,
+            out=args.out,
+        )
+        print(f"submitted {args.suite!r} as {job_id}")
+        if not args.wait:
+            return 0
+        status = client.wait(job_id, timeout=args.timeout)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(
+        f"{job_id} {status['state']}: {status['total_cells']} cells, "
+        f"{status['skipped']} already stored, {status['executed']} executed, "
+        f"{len(status['failures'])} failed, {status['unverified']} unverified"
+    )
+    if status["error"]:
+        print(f"job error: {status['error']}", file=sys.stderr)
+    for failure in status["failures"]:
+        print(
+            f"FAILED cell {failure['scenario']} n={failure['n']} "
+            f"seed={failure['seed']}: {failure['error']}",
+            file=sys.stderr,
+        )
+    ok = (
+        status["state"] == "done"
+        and not status["failures"]
+        and status["unverified"] == 0
+    )
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "merge":
+        return _cmd_merge(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     return _cmd_report(args)

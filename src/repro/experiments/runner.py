@@ -22,6 +22,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.experiments.shard import ShardSpec, shard_cells
+
 from repro.local import MessageMeter
 from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
@@ -105,6 +107,7 @@ class SweepRunner:
         smoke: bool = False,
         sizes: tuple[int, ...] | None = None,
         seeds: tuple[int, ...] | None = None,
+        shard: ShardSpec | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -114,10 +117,17 @@ class SweepRunner:
         self.smoke = smoke
         self.sizes = sizes
         self.seeds = seeds
+        self.shard = shard
 
     def pending_cells(self) -> tuple[list[Cell], int]:
-        """The cells still to run, and how many the store already covers."""
+        """The cells still to run, and how many the store already covers.
+
+        With a shard spec, only the cells owned by this shard count: the
+        disjoint fingerprint partition means ``k`` workers running the same
+        suite as shards ``0/k .. k-1/k`` never duplicate work.
+        """
         cells = self.suite.cells(smoke=self.smoke, sizes=self.sizes, seeds=self.seeds)
+        cells = shard_cells(cells, self.shard)
         completed = self.store.completed_fingerprints()
         pending = [cell for cell in cells if cell.fingerprint not in completed]
         return pending, len(cells) - len(pending)

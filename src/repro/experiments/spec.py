@@ -16,6 +16,7 @@ picklable payload and the worker re-resolves the registries locally.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Callable, Iterator
 
@@ -36,11 +37,17 @@ from repro.baselines import (
 from repro.core import solve_on_bounded_arboricity, solve_on_tree
 from repro.core.complexity import mm_mis_tree_bound, polylog, predicted_rounds_tree
 from repro.generators import (
+    balanced_regular_tree,
     bfs_forest_parents,
+    caterpillar,
     forest_union,
+    grid_graph,
+    path_graph,
     planar_triangulation_like,
     random_graph_with_max_degree,
     random_tree,
+    spider,
+    star_graph,
 )
 from repro.problems.classic import (
     is_deg_plus_one_coloring,
@@ -129,6 +136,107 @@ register_generator(GeneratorFamily(
     description="random graph with maximum degree 8",
     build=lambda n, seed: random_graph_with_max_degree(n, 8, seed=seed),
     arboricity=None,
+))
+# Every builder must produce *exactly* n nodes: the cell's n is recorded
+# in the store and drives the scaling tables and log-power fits, so a
+# builder that silently rounded would mislabel the measured data.
+
+def _build_grid(n: int, seed: int) -> nx.Graph:
+    """A grid fragment with exactly ``n`` nodes: a full rows×cols grid
+    plus a partial extra column (deterministic; seed ignored)."""
+    rows = max(1, math.isqrt(n))
+    columns = n // rows
+    graph = grid_graph(rows, columns)
+    # grid_graph numbers cells row-major: cell (i, j) is node i·cols + j.
+    # The n - rows·cols leftover nodes form a partial extra column, each
+    # wired to its row's last cell and to its column neighbour — still a
+    # planar, Δ ≤ 4, arboricity ≤ 2 grid fragment.
+    for extra in range(n - rows * columns):
+        node = rows * columns + extra
+        graph.add_edge(node, extra * columns + columns - 1)
+        if extra:
+            graph.add_edge(node, node - 1)
+    return graph
+
+
+def _build_caterpillar(n: int, seed: int) -> nx.Graph:
+    """A caterpillar with exactly ``n`` nodes: 3 legs per spine node,
+    remainder legs on the first spine node (seed ignored)."""
+    if n < 5:
+        return path_graph(n)
+    spine = n // 4
+    graph = caterpillar(spine, 3)  # 4·spine nodes, 0..spine-1 the spine
+    for extra in range(4 * spine, n):
+        graph.add_edge(0, extra)
+    return graph
+
+
+def _build_spider(n: int, seed: int) -> nx.Graph:
+    """A spider with exactly ``n`` nodes: ~√n legs of ~√n nodes, the
+    first legs one node longer to absorb the remainder (seed ignored)."""
+    legs = max(2, math.isqrt(n))
+    leg_length = (n - 1) // legs
+    if leg_length == 0:
+        return star_graph(n)
+    graph = spider(legs, leg_length)  # 1 + legs·leg_length nodes
+    # spider numbers legs consecutively from 1, so leg j's tip is node
+    # (j+1)·leg_length; extend one leg per leftover node.
+    for extra in range((n - 1) - legs * leg_length):
+        tip = (extra + 1) * leg_length
+        graph.add_edge(tip, 1 + legs * leg_length + extra)
+    return graph
+
+
+def _build_balanced_tree(n: int, seed: int) -> nx.Graph:
+    """The paper's lower-bound instance: the 3-regular balanced tree with
+    exactly ``n`` nodes.
+
+    Such trees exist only at sizes ``1 + 3·(2^d − 1)`` (4, 10, 22, 46,
+    94, 190, ...); other sizes are rejected rather than silently rounded,
+    so the recorded ``n`` always equals the measured instance size.
+    """
+    depth, size = 1, 4
+    while size < n:
+        depth += 1
+        size = 1 + 3 * (2**depth - 1)
+    if size != n:
+        raise ValueError(
+            f"balanced-tree-3 instances exist only at sizes 1 + 3*(2^d - 1) "
+            f"= 4, 10, 22, 46, 94, 190, ...; got n={n}"
+        )
+    return balanced_regular_tree(3, depth)
+
+
+register_generator(GeneratorFamily(
+    name="grid",
+    description="near-square 2D grid (planar, arboricity ≤ 2; seed ignored)",
+    build=_build_grid,
+    arboricity=2,
+))
+register_generator(GeneratorFamily(
+    name="caterpillar-3",
+    description="caterpillar tree: path spine with 3 legs per spine node "
+    "(seed ignored)",
+    build=_build_caterpillar,
+    arboricity=1,
+    is_forest=True,
+))
+register_generator(GeneratorFamily(
+    name="spider",
+    description="spider tree: ~√n legs of ~√n nodes sharing one centre "
+    "(seed ignored)",
+    build=_build_spider,
+    arboricity=1,
+    is_forest=True,
+))
+register_generator(GeneratorFamily(
+    name="balanced-tree-3",
+    description="regular balanced tree of degree 3 — the paper's "
+    "lower-bound instance; exact sizes 4, 10, 22, 46, 94, 190, ... only "
+    "(seed ignored)",
+    build=_build_balanced_tree,
+    arboricity=1,
+    is_forest=True,
 ))
 register_generator(GeneratorFamily(
     name=ANALYTIC_GENERATOR,
@@ -680,6 +788,101 @@ register_suite(Suite(
             sizes=(500, 1000),
             seeds=(1, 2),
             smoke_sizes=(100,),
+        ),
+    ),
+))
+
+register_suite(Suite(
+    name="workloads",
+    description="structured instance families: grids, caterpillars and "
+    "spiders (deterministic shapes, one seed)",
+    scenarios=(
+        ScenarioSpec(
+            name="edge-coloring/grid",
+            generator="grid",
+            algorithm="arb-edge-coloring",
+            sizes=(64, 144, 256),
+            seeds=(1,),
+            smoke_sizes=(36,),
+        ),
+        ScenarioSpec(
+            name="matching/grid",
+            generator="grid",
+            algorithm="arb-matching",
+            sizes=(64, 144, 256),
+            seeds=(1,),
+            smoke_sizes=(36,),
+        ),
+        ScenarioSpec(
+            name="deg+1-coloring/caterpillar",
+            generator="caterpillar-3",
+            algorithm="tree-deg+1-coloring",
+            sizes=(80, 160, 320),
+            seeds=(1,),
+            smoke_sizes=(40,),
+        ),
+        ScenarioSpec(
+            name="forest-3coloring/caterpillar",
+            generator="caterpillar-3",
+            algorithm="baseline-forest-3coloring",
+            sizes=(80, 160, 320),
+            seeds=(1,),
+            smoke_sizes=(40,),
+        ),
+        ScenarioSpec(
+            name="mis/spider",
+            generator="spider",
+            algorithm="tree-mis",
+            sizes=(80, 160, 320),
+            seeds=(1,),
+            smoke_sizes=(40,),
+        ),
+        ScenarioSpec(
+            name="forest-3coloring/spider",
+            generator="spider",
+            algorithm="baseline-forest-3coloring",
+            sizes=(80, 160, 320),
+            seeds=(1,),
+            smoke_sizes=(40,),
+        ),
+    ),
+))
+
+register_suite(Suite(
+    name="lower-bound",
+    description="the paper's lower-bound instances: regular balanced trees "
+    "of degree 3, plus the analytic MIS/matching barrier shape",
+    scenarios=(
+        ScenarioSpec(
+            name="mis/balanced-tree",
+            generator="balanced-tree-3",
+            algorithm="tree-mis",
+            sizes=(22, 46, 94, 190),
+            seeds=(1,),
+            smoke_sizes=(22, 46),
+        ),
+        ScenarioSpec(
+            name="matching/balanced-tree",
+            generator="balanced-tree-3",
+            algorithm="arb-matching",
+            sizes=(22, 46, 94, 190),
+            seeds=(1,),
+            smoke_sizes=(22, 46),
+        ),
+        ScenarioSpec(
+            name="forest-3coloring/balanced-tree",
+            generator="balanced-tree-3",
+            algorithm="baseline-forest-3coloring",
+            sizes=(22, 46, 94, 190),
+            seeds=(1,),
+            smoke_sizes=(22, 46),
+        ),
+        ScenarioSpec(
+            name="barrier-shape/predicted",
+            generator=ANALYTIC_GENERATOR,
+            algorithm="predicted-mm-mis-barrier",
+            sizes=ANALYTIC_SIZES,
+            seeds=(0,),
         ),
     ),
 ))

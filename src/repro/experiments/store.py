@@ -19,11 +19,25 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
-__all__ = ["cell_fingerprint", "CellResult", "ResultStore"]
+__all__ = [
+    "DEFAULT_OUT",
+    "cell_fingerprint",
+    "CellResult",
+    "ResultStore",
+    "MergeConflict",
+    "MergeReport",
+    "merge_result_files",
+]
+
+#: Default result-store directory, shared by the CLI and the daemon so
+#: ``run``, ``merge``, ``report`` and daemon-submitted jobs agree on
+#: where results live.
+DEFAULT_OUT = "experiments/results"
 
 
 def cell_fingerprint(generator: str, algorithm: str, n: int, seed: int) -> str:
@@ -102,11 +116,22 @@ class ResultStore:
     def __init__(self, directory: str | Path, filename: str = "results.jsonl") -> None:
         self.directory = Path(directory)
         self.path = self.directory / filename
+        self._tail_repaired = False
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "ResultStore":
+        """A store over an explicit JSONL file rather than a directory."""
+        path = Path(path)
+        return cls(path.parent, path.name)
 
     def append(self, result: CellResult) -> None:
         """Append one record and flush, so a crash loses at most this cell."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        self._repair_truncated_tail()
+        if not self._tail_repaired:
+            # A truncated tail can only predate this (single-writer)
+            # instance's first append; later appends need not re-scan.
+            self._repair_truncated_tail()
+            self._tail_repaired = True
         line = json.dumps(result.to_record(), sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
@@ -176,3 +201,151 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore(path={str(self.path)!r}, records={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# merging sharded stores
+# ----------------------------------------------------------------------
+
+#: Record fields ignored when deciding whether two records for the same
+#: fingerprint *conflict*.  Wall clock is nondeterministic timing, and the
+#: suite/scenario labels are cosmetic groupings (the same cell may be run
+#: under different suites); neither makes two records different results.
+NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario")
+
+
+def _semantic_payload(record: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in record.items() if k not in NONSEMANTIC_FIELDS}
+
+
+@dataclass
+class MergeConflict:
+    """Two inputs carried *different results* for the same fingerprint.
+
+    Last-write-wins resolved it (``kept`` is from the later input), but a
+    conflict on a deterministic cell means the inputs were produced by
+    diverging code or environments — worth a report line.
+    """
+
+    fingerprint: str
+    kept_source: str
+    dropped_source: str
+    kept: dict[str, Any]
+    dropped: dict[str, Any]
+
+    def describe(self) -> str:
+        changed = sorted(
+            key
+            for key in set(self.kept) | set(self.dropped)
+            if key not in NONSEMANTIC_FIELDS
+            and self.kept.get(key) != self.dropped.get(key)
+        )
+        return (
+            f"[{self.fingerprint}] kept {self.kept_source}, "
+            f"dropped {self.dropped_source} (differing fields: {', '.join(changed)})"
+        )
+
+
+@dataclass
+class MergeReport:
+    """Summary of one :func:`merge_result_files` invocation."""
+
+    output: Path
+    inputs: list[Path]
+    missing: list[Path] = field(default_factory=list)
+    records_read: int = 0
+    merged: int = 0
+    duplicates: int = 0
+    conflicts: list[MergeConflict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts
+
+
+def merge_result_files(
+    inputs: Iterable[str | Path],
+    output: str | Path,
+    include_existing_output: bool = True,
+) -> MergeReport:
+    """Union JSONL result files by fingerprint into ``output``.
+
+    Inputs are read in order through :class:`ResultStore`, so each file
+    gets the same tolerance as a live store: a truncated final line (a
+    crash mid-append) is dropped, corruption elsewhere raises.  Duplicate
+    fingerprints resolve by rank, then recency: a **verified** record
+    always beats an unverified one (an unverified record is "not
+    completed" per the store's resume semantics — its re-run legitimately
+    supersedes it, and it must never displace a completed result), and
+    between records of equal verification status the *last* one wins.
+    Two records of equal status that differ in semantic fields (anything
+    except wall clock and the cosmetic suite/scenario labels) are
+    reported as conflicts — for a deterministic cell that means the
+    inputs came from diverging code or environments.
+
+    When ``output`` already exists and ``include_existing_output`` is true
+    it is treated as the *first* input, so repeated incremental merges into
+    one store are safe.  Missing input files are tolerated and reported in
+    ``MergeReport.missing`` — a shard that has not produced results yet
+    should not abort the merge of the shards that have.
+
+    The merged file is written atomically (temp file + rename): a crash
+    mid-merge never leaves a half-written output store.
+    """
+    output = Path(output)
+    sources: list[Path] = []
+    if include_existing_output and output.exists():
+        sources.append(output)
+    sources.extend(Path(path) for path in inputs)
+
+    report = MergeReport(output=output, inputs=sources)
+    merged: dict[str, dict[str, Any]] = {}
+    origin: dict[str, Path] = {}
+    for path in sources:
+        if not path.exists():
+            report.missing.append(path)
+            continue
+        for record in ResultStore.from_path(path).records():
+            report.records_read += 1
+            fingerprint = record.get("fingerprint")
+            if fingerprint is None:
+                raise ValueError(f"{path}: record without a fingerprint field")
+            previous = merged.get(fingerprint)
+            if previous is not None:
+                report.duplicates += 1
+                previous_ok = bool(previous.get("verified"))
+                record_ok = bool(record.get("verified"))
+                if previous_ok and not record_ok:
+                    # A completed result is never displaced by an
+                    # unverified record, whatever the input order.
+                    continue
+                if (
+                    previous_ok == record_ok
+                    and _semantic_payload(previous) != _semantic_payload(record)
+                ):
+                    report.conflicts.append(MergeConflict(
+                        fingerprint=fingerprint,
+                        kept_source=str(path),
+                        dropped_source=str(origin[fingerprint]),
+                        kept=record,
+                        dropped=previous,
+                    ))
+            merged[fingerprint] = record
+            origin[fingerprint] = path
+
+    report.merged = len(merged)
+    if report.records_read == 0:
+        # No input contributed a single record — missing shards, empty
+        # files, or a store holding only a truncated crash fragment: do
+        # not plant an empty store at the destination.  A later `report`
+        # should see "no store yet", not a valid-looking empty file
+        # masking the failed merge.
+        return report
+    output.parent.mkdir(parents=True, exist_ok=True)
+    scratch = output.with_name(output.name + ".tmp")
+    with open(scratch, "w", encoding="utf-8") as handle:
+        for record in merged.values():
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        handle.flush()
+    os.replace(scratch, output)
+    return report

@@ -67,6 +67,12 @@ class Network:
     ) -> None:
         if graph.is_directed() or graph.is_multigraph():
             raise ValueError("the LOCAL network must be a simple undirected graph")
+        if nx.number_of_selfloops(graph):
+            # The CSR index counts a self-loop once towards the degree while
+            # the reference engine's ``graph.degree`` counts it twice, so the
+            # two engines would disagree on Δ; self-loops carry no meaning in
+            # the LOCAL message model anyway, so reject them outright.
+            raise ValueError("the LOCAL network must not contain self-loops")
         self.graph = graph
         self._nodes: tuple = tuple(graph.nodes())
         if identifiers is None:

@@ -1,0 +1,45 @@
+"""The distributed sweep service.
+
+Four layers turn the single-machine experiment runner into a
+multi-worker, resumable, mergeable sweep platform:
+
+* :mod:`repro.service.shard` — deterministic ``i/k`` partitioning of a
+  suite's cells by fingerprint (implemented in
+  :mod:`repro.experiments.shard`, re-exported here), so independent
+  workers and machines run disjoint shards (``run --shard i/k``);
+* :mod:`repro.service.pool` — :class:`WorkerPool`, warm worker processes
+  reused across sweeps with batched cell submission, amortising process
+  startup over many small cells;
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — a job
+  queue speaking line-delimited JSON over a local socket (``serve`` /
+  ``submit`` subcommands) so many clients feed one long-lived pool;
+* the merge layer lives with the store
+  (:func:`repro.experiments.store.merge_result_files`): sharded JSONL
+  stores union by fingerprint into one store that ``report`` consumes
+  unchanged.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import DEFAULT_SOCKET, Job, SweepDaemon
+from repro.service.pool import (
+    DEFAULT_BATCH_SIZE,
+    CellOutcome,
+    WorkerPool,
+    batch_cells,
+)
+from repro.service.shard import ShardSpec, partition, shard_cells
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "DEFAULT_SOCKET",
+    "Job",
+    "SweepDaemon",
+    "DEFAULT_BATCH_SIZE",
+    "CellOutcome",
+    "WorkerPool",
+    "batch_cells",
+    "ShardSpec",
+    "partition",
+    "shard_cells",
+]

@@ -1,0 +1,121 @@
+"""Client for the sweep daemon: one request, one connection, one JSON line.
+
+:class:`ServiceClient` wraps the protocol verbs as methods.  Every call
+opens a short-lived connection — the daemon is local, connections are
+cheap, and statelessness means a client never wedges the daemon by holding
+a socket open.  ``python -m repro.experiments submit`` is a thin shell
+around this class.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.service.protocol import ProtocolError, recv_message, send_message
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+#: Job states in which a job will make no further progress.
+TERMINAL_STATES = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false`` (or could not be reached)."""
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.daemon.SweepDaemon` socket."""
+
+    def __init__(self, socket_path: str | Path, timeout: float = 30.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request and return the (``ok: true``) response."""
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError("the sweep service requires Unix-domain sockets")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            try:
+                sock.connect(str(self.socket_path))
+            except OSError as error:
+                raise ServiceError(
+                    f"cannot reach the sweep daemon at {self.socket_path} "
+                    f"({error}); is `python -m repro.experiments serve` running?"
+                ) from None
+            try:
+                send_message(sock, payload)
+                with sock.makefile("rb") as reader:
+                    response = recv_message(reader)
+            except (OSError, ProtocolError) as error:  # incl. socket.timeout
+                raise ServiceError(
+                    f"request to the sweep daemon at {self.socket_path} "
+                    f"failed mid-flight ({error})"
+                ) from None
+        finally:
+            sock.close()
+        if response is None:
+            raise ServiceError("the daemon closed the connection without answering")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown daemon error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        suite: str,
+        smoke: bool = False,
+        sizes: tuple[int, ...] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        shard: str | None = None,
+        out: str | None = None,
+    ) -> str:
+        """Enqueue a sweep job; returns the job id."""
+        payload: dict[str, Any] = {"op": "submit", "suite": suite, "smoke": smoke}
+        if sizes is not None:
+            payload["sizes"] = list(sizes)
+        if seeds is not None:
+            payload["seeds"] = list(seeds)
+        if shard is not None:
+            payload["shard"] = shard
+        if out is not None:
+            payload["out"] = out
+        return self.request(payload)["job"]
+
+    def status(self, job: str | None = None) -> dict[str, Any]:
+        """One job's status dict, or the whole-daemon view without a job."""
+        if job is None:
+            return self.request({"op": "status"})
+        return self.request({"op": "status", "job": job})["job"]
+
+    def results(self, job: str) -> list[dict[str, Any]]:
+        """The per-cell records the job has produced so far."""
+        return self.request({"op": "results", "job": job})["records"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+    def wait(
+        self, job: str, poll_interval: float = 0.1, timeout: float = 600.0
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for {job} "
+                    f"(state: {status['state']})"
+                )
+            time.sleep(poll_interval)

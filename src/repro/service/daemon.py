@@ -1,0 +1,460 @@
+"""The sweep daemon: a job queue in front of one persistent worker pool.
+
+``python -m repro.experiments serve`` runs one :class:`SweepDaemon` per
+machine.  It listens on a local Unix-domain socket, speaks the
+line-delimited JSON protocol of :mod:`repro.service.protocol`, and lets
+any number of clients feed sweep jobs into one long-lived
+:class:`~repro.service.pool.WorkerPool` — the process-startup cost of a
+sweep is paid once per daemon, not once per request.
+
+Verbs
+-----
+``ping``
+    Liveness + pool statistics.
+``submit``
+    Enqueue a sweep job: ``{"op": "submit", "suite": "paper-claims",
+    "smoke": true, "shard": "0/2", "out": "experiments/results"}``.
+    Validation (suite name, shard spec) happens here, so a bad request
+    fails fast at the client instead of inside the queue.
+``status``
+    One job's state (``{"op": "status", "job": "job-1"}``) or, without a
+    job id, every job plus pool traffic counters.
+``results``
+    The per-cell result records a job has produced so far.
+``shutdown``
+    Stop accepting work, finish the jobs already queued, exit.
+
+Jobs run strictly in submission order (one at a time — the pool's
+workers parallelise *within* a job).  Every completed cell is appended to
+the job's :class:`~repro.experiments.store.ResultStore` the moment it
+finishes, so daemon jobs are resumable and mergeable exactly like CLI
+``run`` sweeps.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.spec import get_suite
+from repro.experiments.store import DEFAULT_OUT, ResultStore
+from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
+from repro.service.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    recv_message,
+    send_message,
+)
+from repro.service.shard import ShardSpec
+
+__all__ = ["DEFAULT_SOCKET", "Job", "SweepDaemon"]
+
+#: Default rendezvous point, next to the default result store.
+DEFAULT_SOCKET = "experiments/service.sock"
+
+#: Per-job cap on cell records kept in memory for the ``results`` verb.
+#: The on-disk ResultStore is the durable record; the in-memory copy is a
+#: convenience for small jobs, and capping it keeps a long-lived daemon's
+#: memory (and the single-line ``results`` response) bounded.
+MAX_RESULT_RECORDS_IN_MEMORY = 10_000
+
+#: Finished jobs retained in the job table.  Older done/failed jobs are
+#: evicted as new ones are submitted, so heavy traffic cannot grow the
+#: daemon without bound.
+MAX_FINISHED_JOBS = 50
+
+
+@dataclass
+class Job:
+    """One queued/running/finished sweep request."""
+
+    id: str
+    suite: str
+    smoke: bool = False
+    sizes: tuple[int, ...] | None = None
+    seeds: tuple[int, ...] | None = None
+    shard: str | None = None
+    out: str = DEFAULT_OUT
+    state: str = "queued"  # queued | running | done | failed
+    submitted_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    total_cells: int = 0
+    skipped: int = 0
+    executed: int = 0
+    unverified: int = 0
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    error: str | None = None
+    results: list[dict[str, Any]] = field(default_factory=list)
+    results_truncated: bool = False
+
+    def describe(self) -> dict[str, Any]:
+        """The status-verb view of the job (everything but the records)."""
+        return {
+            "id": self.id,
+            "suite": self.suite,
+            "smoke": self.smoke,
+            "sizes": list(self.sizes) if self.sizes else None,
+            "seeds": list(self.seeds) if self.seeds else None,
+            "shard": self.shard,
+            "out": self.out,
+            "state": self.state,
+            "total_cells": self.total_cells,
+            "skipped": self.skipped,
+            "executed": self.executed,
+            "unverified": self.unverified,
+            "failures": self.failures,
+            "error": self.error,
+        }
+
+
+class SweepDaemon:
+    """Serve sweep jobs over a local socket from one warm worker pool."""
+
+    def __init__(
+        self,
+        socket_path: str | Path = DEFAULT_SOCKET,
+        workers: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.pool = WorkerPool(workers=workers, batch_size=batch_size)
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_queue: queue_module.Queue[str] = queue_module.Queue()
+        self._job_counter = 0
+        self._shutdown = threading.Event()
+        self._accept_stop = threading.Event()
+        self._bound_socket = False
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._runner_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the socket and start the accept and job-runner threads."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise RuntimeError("the sweep daemon requires Unix-domain sockets")
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            # A previous daemon that crashed leaves a stale socket file; a
+            # *live* daemon would still answer, so probe before stealing.
+            if self._socket_is_live():
+                raise RuntimeError(f"another daemon is serving {self.socket_path}")
+            self.socket_path.unlink()
+        # Fork the worker processes *now*, while this is still the only
+        # thread: forking lazily from the runner thread with accept /
+        # connection threads live risks a child inheriting a lock some
+        # other thread held at fork time.
+        self.pool.start()
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(str(self.socket_path))
+        self._bound_socket = True
+        server.listen(16)
+        server.settimeout(0.2)
+        self._server = server
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sweep-daemon-accept", daemon=True
+        )
+        self._runner_thread = threading.Thread(
+            target=self._runner_loop, name="sweep-daemon-runner", daemon=True
+        )
+        self._accept_thread.start()
+        self._runner_thread.start()
+
+    def _socket_is_live(self) -> bool:
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(0.5)
+        try:
+            probe.connect(str(self.socket_path))
+        except OSError:
+            return False
+        else:
+            return True
+        finally:
+            probe.close()
+
+    def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._server is None:
+            self.start()
+        try:
+            while not self._shutdown.is_set():
+                self._shutdown.wait(0.2)
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        """Request shutdown: queued jobs still finish, then threads exit.
+
+        Taking the jobs lock makes stopping atomic with respect to
+        ``submit``: a submit that passed its shutdown check under the
+        lock has already enqueued its job before the flag can be set, so
+        the runner loop (which exits only once the flag is set *and* the
+        queue is drained) never strands an accepted job.
+        """
+        with self._jobs_lock:
+            self._shutdown.set()
+
+    def close(self) -> None:
+        """Stop, drain the queued jobs, and release every resource.
+
+        The runner thread is joined *before* the accept loop is stopped:
+        clients keep polling ``status`` / ``results`` while the queued
+        jobs drain (only new ``submit`` requests are rejected once the
+        shutdown flag is up).
+        """
+        self.stop()
+        if self._runner_thread is not None:
+            # No timeout: the shutdown contract is "queued jobs still
+            # finish", however long they take.  A wedged sweep cannot
+            # hang this forever — the pool detects dead workers within
+            # ~1s and fails the job rather than blocking.
+            self._runner_thread.join()
+            self._runner_thread = None
+        self._accept_stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+            self._accept_thread = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        # Unlink only a socket *this* daemon bound: a close() after a
+        # failed start() ("another daemon is serving") must not sever the
+        # live daemon that owns the file.
+        if self._bound_socket and self.socket_path.exists():
+            self.socket_path.unlink()
+        self._bound_socket = False
+        self.pool.shutdown()
+
+    def __enter__(self) -> "SweepDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # job execution (runner thread)
+    # ------------------------------------------------------------------
+    def _runner_loop(self) -> None:
+        while not (self._shutdown.is_set() and self._job_queue.empty()):
+            try:
+                job_id = self._job_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                continue
+            self._run_job(self._jobs[job_id])
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one job, updating its fields *live* for the status verb.
+
+        The plan (total cells, resume skips) is published before the first
+        cell runs, and executed/unverified/failure counters tick per cell,
+        so a polling client always sees a meaningful denominator — even if
+        the sweep later dies and the job ends up ``failed``.
+        """
+        job.state = "running"
+        job.started_s = time.time()
+
+        def on_plan(total: int, skipped: int) -> None:
+            job.total_cells = total
+            job.skipped = skipped
+
+        def progress(result) -> None:
+            job.executed += 1
+            if not result.verified:
+                job.unverified += 1
+            if len(job.results) < MAX_RESULT_RECORDS_IN_MEMORY:
+                job.results.append(result.to_record())
+            else:
+                job.results_truncated = True
+
+        def on_failure(cell, error: str) -> None:
+            job.failures.append({
+                "scenario": cell.scenario,
+                "n": cell.n,
+                "seed": cell.seed,
+                "error": error,
+            })
+
+        try:
+            suite = get_suite(job.suite)
+            shard = ShardSpec.parse(job.shard) if job.shard else None
+            self.pool.run_suite(
+                suite,
+                ResultStore(job.out),
+                smoke=job.smoke,
+                sizes=job.sizes,
+                seeds=job.seeds,
+                shard=shard,
+                progress=progress,
+                on_plan=on_plan,
+                on_failure=on_failure,
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced via status verb
+            job.state = "failed"
+            job.error = repr(error)
+        else:
+            job.state = "done"
+        finally:
+            job.finished_s = time.time()
+
+    # ------------------------------------------------------------------
+    # protocol handling (accept thread + one thread per connection)
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._accept_stop.is_set():
+            try:
+                connection, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - socket closed under us
+                break
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="sweep-daemon-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection, connection.makefile("rb") as reader:
+            while True:
+                try:
+                    request = recv_message(reader)
+                except ProtocolError as error:
+                    try:
+                        send_message(connection, error_response(str(error)))
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return
+                try:
+                    response = self._dispatch(request)
+                except Exception as error:  # noqa: BLE001 - keep serving
+                    response = error_response(repr(error))
+                try:
+                    send_message(connection, response)
+                except OSError:
+                    return
+                if request.get("op") == "shutdown":
+                    return
+
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return ok_response(pool=self._pool_stats(), jobs=len(self._jobs))
+        if op == "submit":
+            return self._handle_submit(request)
+        if op == "status":
+            return self._handle_status(request)
+        if op == "results":
+            return self._handle_results(request)
+        if op == "shutdown":
+            self.stop()
+            return ok_response(stopping=True)
+        return error_response(
+            f"unknown op {op!r} (expected ping/submit/status/results/shutdown)"
+        )
+
+    def _pool_stats(self) -> dict[str, Any]:
+        return {
+            "workers": self.pool.workers,
+            "batch_size": self.pool.batch_size,
+            "started": self.pool.started,
+            "sweeps_served": self.pool.sweeps_served,
+            "cells_executed": self.pool.cells_executed,
+            "batches_executed": self.pool.batches_executed,
+        }
+
+    def _handle_submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._shutdown.is_set():
+            return error_response("daemon is shutting down; job rejected")
+        suite_name = request.get("suite")
+        if not suite_name:
+            return error_response("submit requires a 'suite' field")
+        try:
+            get_suite(suite_name)
+        except KeyError as error:
+            return error_response(error.args[0])
+        shard = request.get("shard")
+        if shard is not None:
+            try:
+                ShardSpec.parse(str(shard))
+            except ValueError as error:
+                return error_response(str(error))
+        sizes = request.get("sizes")
+        seeds = request.get("seeds")
+        with self._jobs_lock:
+            # Re-check under the lock: stop() also takes it, so a job
+            # accepted here is enqueued before the flag can flip and the
+            # runner loop is guaranteed to drain it.
+            if self._shutdown.is_set():
+                return error_response("daemon is shutting down; job rejected")
+            self._evict_finished_jobs()
+            self._job_counter += 1
+            job = Job(
+                id=f"job-{self._job_counter}",
+                suite=suite_name,
+                smoke=bool(request.get("smoke", False)),
+                sizes=tuple(int(n) for n in sizes) if sizes else None,
+                seeds=tuple(int(s) for s in seeds) if seeds else None,
+                shard=str(shard) if shard is not None else None,
+                out=str(request.get("out") or DEFAULT_OUT),
+            )
+            self._jobs[job.id] = job
+            self._job_queue.put(job.id)
+        return ok_response(job=job.id, queued=self._job_queue.qsize())
+
+    def _evict_finished_jobs(self) -> None:
+        """Drop the oldest done/failed jobs beyond :data:`MAX_FINISHED_JOBS`.
+
+        Called with the jobs lock held.  The on-disk stores are untouched
+        — only the in-memory job table (and its cached result records)
+        is bounded.
+        """
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.state in ("done", "failed")
+        ]
+        for job_id in finished[: max(0, len(finished) - MAX_FINISHED_JOBS)]:
+            del self._jobs[job_id]
+
+    def _get_job(self, request: dict[str, Any]) -> Job | None:
+        return self._jobs.get(str(request.get("job")))
+
+    def _handle_status(self, request: dict[str, Any]) -> dict[str, Any]:
+        if "job" in request:
+            job = self._get_job(request)
+            if job is None:
+                return error_response(f"unknown job {request.get('job')!r}")
+            return ok_response(job=job.describe())
+        with self._jobs_lock:
+            jobs = [job.describe() for job in self._jobs.values()]
+        return ok_response(jobs=jobs, pool=self._pool_stats())
+
+    def _handle_results(self, request: dict[str, Any]) -> dict[str, Any]:
+        job = self._get_job(request)
+        if job is None:
+            return error_response(f"unknown job {request.get('job')!r}")
+        return ok_response(
+            job=job.id,
+            state=job.state,
+            records=list(job.results),
+            truncated=job.results_truncated,
+            store=str(ResultStore(job.out).path),
+        )

@@ -1,0 +1,71 @@
+"""The wire protocol of the sweep service: line-delimited JSON over a
+local stream socket.
+
+Each request and each response is exactly one JSON object on one
+``\\n``-terminated line, so the protocol is trivially debuggable
+(``socat - UNIX-CONNECT:experiments/service.sock`` and type) and needs no
+framing beyond ``readline``.  Requests carry an ``op`` field naming the
+verb (``ping`` / ``submit`` / ``status`` / ``results`` / ``shutdown``);
+responses always carry ``ok`` (bool) and, when ``ok`` is false, an
+``error`` string.
+
+One connection may issue any number of requests; the daemon answers each
+line with one line and closes when the client half-closes.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+    "error_response",
+    "ok_response",
+]
+
+#: Upper bound on one protocol line.  Results of a large job dominate; a
+#: 64 MiB line is ~100k cell records, far beyond a sane single response.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or oversized protocol line."""
+
+
+def send_message(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Serialise ``payload`` as one JSON line and send it whole."""
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    sock.sendall(line.encode("utf-8"))
+
+
+def recv_message(reader) -> dict[str, Any] | None:
+    """Read one JSON line from a file-like reader; ``None`` on EOF.
+
+    ``reader`` is a binary file object (``socket.makefile("rb")``); using
+    the file layer gets buffered ``readline`` for free.
+    """
+    line = reader.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed protocol line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return payload
+
+
+def ok_response(**fields: Any) -> dict[str, Any]:
+    return {"ok": True, **fields}
+
+
+def error_response(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": message}

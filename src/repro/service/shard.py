@@ -1,0 +1,13 @@
+"""The service's shard layer: deterministic ``i/k`` cell partitioning.
+
+The implementation lives in :mod:`repro.experiments.shard` — the sweep
+runner filters pending cells with it, and placing it below the runner
+keeps the import graph acyclic (service modules import the experiments
+layer, never the reverse).  This module re-exports it as the service
+subsystem's partitioning layer; see that module for semantics
+(disjointness, covering, resume-compatibility).
+"""
+
+from repro.experiments.shard import ShardSpec, partition, shard_cells
+
+__all__ = ["ShardSpec", "shard_cells", "partition"]

@@ -103,6 +103,24 @@ def test_fast_engine_matches_reference(label, network, algorithm, max_rounds):
 
 
 # ----------------------------------------------------------------------
+# degenerate inputs on which the engines could diverge
+# ----------------------------------------------------------------------
+def test_self_loops_are_rejected_at_network_construction():
+    """A self-loop counts once in the CSR degree but twice in the reference
+    engine's ``graph.degree``, so the engines would disagree on Δ.  The
+    Network constructor rejects such graphs, like directed/multigraphs."""
+    graph = nx.path_graph(6)
+    graph.add_edge(3, 3)
+    with pytest.raises(ValueError, match="self-loop"):
+        Network(graph)
+
+
+def test_loop_free_graph_still_constructs():
+    network = Network(nx.path_graph(6))
+    assert network.max_degree == 2
+
+
+# ----------------------------------------------------------------------
 # decomposition peeling loops vs. naive seed reimplementations
 # ----------------------------------------------------------------------
 def _naive_rake_compress_layers(tree, k):

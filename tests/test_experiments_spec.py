@@ -1,5 +1,6 @@
 """Spec registry tests: suite validity, completeness, cell enumeration."""
 
+import networkx as nx
 import pytest
 
 import repro.baselines as baselines
@@ -10,7 +11,8 @@ from repro.experiments import (
     ScenarioSpec,
     get_suite,
 )
-from repro.experiments.spec import ANALYTIC_GENERATOR
+from repro.experiments.runner import run_cell
+from repro.experiments.spec import ANALYTIC_GENERATOR, Cell
 
 #: Interface / cost-model names in repro.baselines.__all__ that are not
 #: themselves runnable baselines.
@@ -47,6 +49,80 @@ class TestRegistries:
     def test_get_suite_names_known_suites_on_miss(self):
         with pytest.raises(KeyError, match="paper-claims"):
             get_suite("no-such-suite")
+
+
+class TestStructuredFamilies:
+    """The grid / caterpillar / spider / balanced-tree generator families."""
+
+    def test_families_registered(self):
+        assert {"grid", "caterpillar-3", "spider", "balanced-tree-3"} <= set(
+            GENERATORS
+        )
+
+    @pytest.mark.parametrize(
+        "name, n", [("caterpillar-3", 61), ("spider", 60), ("balanced-tree-3", 46)]
+    )
+    def test_tree_families_build_forests_of_exact_size(self, name, n):
+        family = GENERATORS[name]
+        assert family.is_forest and family.arboricity == 1
+        graph = family.build(n, 1)
+        assert nx.is_forest(graph)
+        assert graph.number_of_nodes() == n
+
+    @pytest.mark.parametrize("n", [64, 101, 22, 7])
+    def test_grid_has_grid_shape_and_exact_size(self, n):
+        family = GENERATORS["grid"]
+        assert not family.is_forest and family.arboricity == 2
+        graph = family.build(n, 1)
+        assert graph.number_of_nodes() == n
+        assert nx.is_connected(graph)
+        assert max(dict(graph.degree()).values()) <= 4
+        assert nx.check_planarity(graph)[0]
+
+    @pytest.mark.parametrize(
+        "name, n",
+        [("grid", 50), ("caterpillar-3", 50), ("spider", 50), ("balanced-tree-3", 46)],
+    )
+    def test_builds_ignore_seed(self, name, n):
+        family = GENERATORS[name]
+        first, second = family.build(n, 1), family.build(n, 2)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_balanced_tree_exact_sizes_only(self):
+        build = GENERATORS["balanced-tree-3"].build
+        for n in (4, 10, 22, 46, 94, 190):
+            graph = build(n, 1)
+            assert graph.number_of_nodes() == n
+            degrees = set(d for _, d in graph.degree())
+            assert degrees <= {1, 3}  # leaves and internal nodes only
+        for n in (3, 23, 45, 189):
+            with pytest.raises(ValueError, match="exist only at sizes"):
+                build(n, 1)
+
+    def test_new_suites_registered_and_valid(self):
+        for name in ("workloads", "lower-bound"):
+            suite = get_suite(name)
+            suite.validate()
+            assert suite.cells()
+        lower = get_suite("lower-bound")
+        assert {s.generator for s in lower.scenarios} == {
+            "balanced-tree-3", ANALYTIC_GENERATOR
+        }
+
+    @pytest.mark.parametrize(
+        "generator, algorithm",
+        [
+            ("grid", "arb-edge-coloring"),
+            ("caterpillar-3", "tree-deg+1-coloring"),
+            ("spider", "tree-mis"),
+            ("balanced-tree-3", "arb-matching"),
+        ],
+    )
+    def test_one_small_cell_per_family_runs_verified(self, generator, algorithm):
+        cell = Cell("smoke", generator, algorithm, 22, 1)
+        result = run_cell("test", cell)
+        assert result.verified
+        assert result.rounds > 0
 
 
 class TestScenarioValidation:

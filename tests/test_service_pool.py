@@ -1,0 +1,182 @@
+"""Worker-pool tests: batched execution, warm reuse across sweeps,
+equivalence with the serial runner, failures and resume."""
+
+import pytest
+
+from repro.experiments import (
+    AlgorithmFamily,
+    ResultStore,
+    ScenarioSpec,
+    Suite,
+    SweepRunner,
+    register_algorithm,
+)
+from repro.experiments.spec import ALGORITHMS, ANALYTIC_GENERATOR
+from repro.service import ShardSpec, WorkerPool, batch_cells
+
+SUITE = Suite(
+    name="pool-test",
+    description="small mixed suite",
+    scenarios=(
+        ScenarioSpec(
+            name="forest/tree", generator="random-tree",
+            algorithm="baseline-forest-3coloring", sizes=(16, 24), seeds=(1, 2, 3),
+        ),
+        ScenarioSpec(
+            name="mis/tree", generator="random-tree",
+            algorithm="baseline-mis", sizes=(16,), seeds=(1, 2),
+        ),
+        ScenarioSpec(
+            name="shape", generator=ANALYTIC_GENERATOR,
+            algorithm="predicted-edge-coloring-log12",
+            sizes=(2**64, 2**128), seeds=(0,),
+        ),
+    ),
+)
+
+
+def normalized(store: ResultStore) -> dict[str, dict]:
+    out = {}
+    for record in store.records():
+        record = dict(record)
+        record["wall_clock_s"] = 0.0
+        out[record["fingerprint"]] = record
+    return out
+
+
+class TestBatching:
+    def test_batch_cells_chunks_and_covers(self):
+        cells = SUITE.cells()
+        batches = batch_cells(cells, 3)
+        assert all(len(batch) <= 3 for batch in batches)
+        assert [c for batch in batches for c in batch] == cells
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            batch_cells([], 0)
+        with pytest.raises(ValueError):
+            WorkerPool(batch_size=0)
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestPoolExecution:
+    def test_matches_serial_runner_modulo_wall_clock(self, tmp_path):
+        serial = ResultStore(tmp_path / "serial")
+        SweepRunner(SUITE, serial, jobs=1).run()
+        pooled = ResultStore(tmp_path / "pool")
+        with WorkerPool(workers=2, batch_size=3) as pool:
+            report = pool.run_suite(SUITE, pooled)
+        assert report.ok
+        assert report.executed == len(SUITE.cells())
+        assert normalized(pooled) == normalized(serial)
+
+    def test_warm_reuse_across_sweeps_same_processes(self, tmp_path):
+        with WorkerPool(workers=2, batch_size=4) as pool:
+            pool.run_suite(SUITE, ResultStore(tmp_path / "a"))
+            pids_after_first = [p.pid for p in pool._processes]
+            pool.run_suite(SUITE, ResultStore(tmp_path / "b"))
+            pids_after_second = [p.pid for p in pool._processes]
+        assert pids_after_first == pids_after_second
+        assert pool.sweeps_served == 2
+        assert pool.cells_executed == 2 * len(SUITE.cells())
+
+    def test_resume_skips_completed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with WorkerPool(workers=2, batch_size=4) as pool:
+            first = pool.run_suite(SUITE, store)
+            second = pool.run_suite(SUITE, store)
+        assert first.executed == len(SUITE.cells())
+        assert second.executed == 0
+        assert second.skipped == second.total_cells == len(SUITE.cells())
+
+    def test_sharded_pool_run(self, tmp_path):
+        with WorkerPool(workers=2, batch_size=4) as pool:
+            reports = [
+                pool.run_suite(
+                    SUITE,
+                    ResultStore(tmp_path / f"s{index}"),
+                    shard=ShardSpec(index, 2),
+                )
+                for index in range(2)
+            ]
+        assert all(report.ok for report in reports)
+        fps0 = set(normalized(ResultStore(tmp_path / "s0")))
+        fps1 = set(normalized(ResultStore(tmp_path / "s1")))
+        assert not (fps0 & fps1)
+        assert fps0 | fps1 == {c.fingerprint for c in SUITE.cells()}
+
+    def test_progress_callback_streams_every_cell(self, tmp_path):
+        seen = []
+        with WorkerPool(workers=2, batch_size=2) as pool:
+            pool.run_suite(SUITE, ResultStore(tmp_path), progress=seen.append)
+        assert len(seen) == len(SUITE.cells())
+
+    def test_submit_sweep_streams_outcomes(self, tmp_path):
+        cells = SUITE.cells()
+        with WorkerPool(workers=2, batch_size=4) as pool:
+            outcomes = list(pool.submit_sweep(SUITE.name, cells))
+        assert len(outcomes) == len(cells)
+        assert all(outcome.ok for outcome in outcomes)
+        assert {o.cell.fingerprint for o in outcomes} == {
+            c.fingerprint for c in cells
+        }
+
+
+class TestPoolFailures:
+    def test_raising_cells_reported_not_stored(self, tmp_path):
+        if "_test-boom" not in ALGORITHMS:
+            def boom(graph, generator, n):
+                raise RuntimeError("boom")
+
+            register_algorithm(AlgorithmFamily(
+                name="_test-boom", description="always raises", kind="baseline",
+                run=boom,
+            ))
+        suite = Suite(
+            name="boom", description="", scenarios=(
+                ScenarioSpec(
+                    name="boom", generator="random-tree", algorithm="_test-boom",
+                    sizes=(10,),
+                ),
+                ScenarioSpec(
+                    name="ok", generator="random-tree", algorithm="baseline-mis",
+                    sizes=(10,),
+                ),
+            ),
+        )
+        store = ResultStore(tmp_path)
+        with WorkerPool(workers=2, batch_size=1) as pool:
+            report = pool.run_suite(suite, store)
+        assert not report.ok
+        assert len(report.failures) == 1
+        assert "boom" in report.failures[0].error
+        assert report.executed == 1
+        assert len(store) == 1
+
+    def test_workers_killed_while_idle_are_rebuilt_before_next_sweep(self, tmp_path):
+        """Workers killed between sweeps are detected at the next start():
+        the pool rebuilds its processes and queues (a worker dead on a
+        queue may hold its lock) and the sweep runs cleanly."""
+        pool = WorkerPool(workers=2, batch_size=4)
+        try:
+            assert pool.run_suite(SUITE, ResultStore(tmp_path / "first")).ok
+            old_pids = [p.pid for p in pool._processes]
+            for process in list(pool._processes):
+                process.terminate()
+                process.join(timeout=5)
+            report = pool.run_suite(SUITE, ResultStore(tmp_path / "after"))
+            assert report.ok and report.executed == len(SUITE.cells())
+            assert len(pool._processes) == 2
+            assert all(p.is_alive() for p in pool._processes)
+            assert [p.pid for p in pool._processes] != old_pids
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent_and_blocks_reuse(self):
+        pool = WorkerPool(workers=1)
+        pool.start()
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.start()

@@ -1,0 +1,228 @@
+"""Merge edge cases: conflicting payloads, truncated tails, empty and
+missing inputs, incremental merges into an existing store."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    CellResult,
+    ResultStore,
+    merge_result_files,
+)
+
+
+def make_result(
+    seed: int,
+    rounds: float = 7.0,
+    verified: bool = True,
+    wall_clock_s: float = 0.5,
+    suite: str = "s",
+) -> CellResult:
+    return CellResult(
+        fingerprint=f"{seed:016x}",
+        suite=suite,
+        scenario="scenario",
+        generator="random-tree",
+        algorithm="baseline-mis",
+        n=10,
+        seed=seed,
+        rounds=rounds,
+        messages=100,
+        wall_clock_s=wall_clock_s,
+        verified=verified,
+    )
+
+
+def write_store(path_dir, results) -> ResultStore:
+    store = ResultStore(path_dir)
+    for result in results:
+        store.append(result)
+    return store
+
+
+class TestBasicUnion:
+    def test_disjoint_inputs_union(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1), make_result(2)])
+        b = write_store(tmp_path / "b", [make_result(3)])
+        out = tmp_path / "m.jsonl"
+        report = merge_result_files([a.path, b.path], out)
+        assert report.ok
+        assert report.records_read == 3
+        assert report.merged == 3
+        assert report.duplicates == 0
+        assert len(ResultStore.from_path(out).records()) == 3
+
+    def test_identical_duplicates_are_not_conflicts(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1)])
+        b = write_store(tmp_path / "b", [make_result(1)])
+        report = merge_result_files([a.path, b.path], tmp_path / "m.jsonl")
+        assert report.ok
+        assert report.duplicates == 1
+        assert report.merged == 1
+
+    def test_wall_clock_and_labels_do_not_conflict(self, tmp_path):
+        """Timing and cosmetic grouping fields differ legitimately between
+        shard runs of the same cell."""
+        a = write_store(
+            tmp_path / "a", [make_result(1, wall_clock_s=0.1, suite="x")]
+        )
+        b = write_store(
+            tmp_path / "b", [make_result(1, wall_clock_s=9.9, suite="y")]
+        )
+        report = merge_result_files([a.path, b.path], tmp_path / "m.jsonl")
+        assert report.ok
+        assert report.duplicates == 1
+
+
+class TestConflicts:
+    def test_differing_payload_reported_last_wins(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1, rounds=7.0)])
+        b = write_store(tmp_path / "b", [make_result(1, rounds=13.0)])
+        out = tmp_path / "m.jsonl"
+        report = merge_result_files([a.path, b.path], out)
+        assert not report.ok
+        assert len(report.conflicts) == 1
+        conflict = report.conflicts[0]
+        assert conflict.fingerprint == make_result(1).fingerprint
+        assert "rounds" in conflict.describe()
+        # last-write-wins: the later input's record is what lands on disk
+        [record] = ResultStore.from_path(out).records()
+        assert record["rounds"] == 13.0
+
+    def test_verified_record_outranks_unverified_regardless_of_order(self, tmp_path):
+        """An unverified record is 'not completed' (resume re-runs it), so
+        it neither displaces a verified result nor counts as a conflict."""
+        a = write_store(tmp_path / "a", [make_result(1, verified=True, rounds=7.0)])
+        b = write_store(tmp_path / "b", [make_result(1, verified=False, rounds=9.0)])
+        for inputs in ([a.path, b.path], [b.path, a.path]):
+            out = tmp_path / "m.jsonl"
+            out.unlink(missing_ok=True)
+            report = merge_result_files(inputs, out)
+            assert report.ok and report.duplicates == 1
+            [record] = ResultStore.from_path(out).records()
+            assert record["verified"] is True and record["rounds"] == 7.0
+
+    def test_resume_history_in_one_file_is_not_a_conflict(self, tmp_path):
+        """The documented normal store history — a failed-verification
+        record followed by its verified re-run — merges cleanly."""
+        a = write_store(
+            tmp_path / "a",
+            [make_result(1, verified=False, rounds=9.0),
+             make_result(1, verified=True, rounds=7.0)],
+        )
+        report = merge_result_files([a.path], tmp_path / "m.jsonl")
+        assert report.ok
+        [record] = ResultStore.from_path(tmp_path / "m.jsonl").records()
+        assert record["verified"] is True and record["rounds"] == 7.0
+
+    def test_two_unverified_differing_records_conflict(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1, verified=False, rounds=7.0)])
+        b = write_store(tmp_path / "b", [make_result(1, verified=False, rounds=9.0)])
+        report = merge_result_files([a.path, b.path], tmp_path / "m.jsonl")
+        assert len(report.conflicts) == 1
+
+
+class TestDamagedInputs:
+    def test_truncated_tail_is_repaired_during_merge(self, tmp_path):
+        """A shard that crashed mid-append merges cleanly: the partial
+        final record is dropped, the complete ones survive."""
+        a = write_store(tmp_path / "a", [make_result(1), make_result(2)])
+        lines = a.path.read_text().splitlines()
+        a.path.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        report = merge_result_files([a.path], tmp_path / "m.jsonl")
+        assert report.ok
+        assert report.records_read == 1
+        assert report.merged == 1
+
+    def test_corrupt_middle_line_still_raises(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1), make_result(2)])
+        lines = a.path.read_text().splitlines()
+        a.path.write_text(lines[0][:10] + "\n" + lines[1] + "\n")
+        with pytest.raises(ValueError, match="corrupt record"):
+            merge_result_files([a.path], tmp_path / "m.jsonl")
+
+    def test_record_without_fingerprint_raises(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"rounds": 3}) + "\n")
+        with pytest.raises(ValueError, match="fingerprint"):
+            merge_result_files([bad], tmp_path / "m.jsonl")
+
+
+class TestEmptyAndMissing:
+    def test_empty_input_contributes_nothing(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        a = write_store(tmp_path / "a", [make_result(1)])
+        report = merge_result_files([empty, a.path], tmp_path / "m.jsonl")
+        assert report.ok
+        assert report.merged == 1
+        assert not report.missing
+
+    def test_missing_input_tolerated_and_reported(self, tmp_path):
+        a = write_store(tmp_path / "a", [make_result(1)])
+        ghost = tmp_path / "nope.jsonl"
+        report = merge_result_files([a.path, ghost], tmp_path / "m.jsonl")
+        assert report.ok
+        assert report.missing == [ghost]
+        assert report.merged == 1
+
+    def test_all_inputs_missing_writes_nothing(self, tmp_path):
+        """No inputs read because all were absent: the output must not be
+        planted as a valid-looking empty store."""
+        out = tmp_path / "m.jsonl"
+        report = merge_result_files([tmp_path / "no.jsonl"], out)
+        assert report.merged == 0
+        assert report.missing
+        assert not out.exists()
+
+    def test_zero_records_total_writes_nothing(self, tmp_path):
+        """Inputs that exist but contribute no records (empty file, or a
+        store holding only a truncated crash fragment) must not plant a
+        valid-looking empty output either."""
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        fragment = tmp_path / "fragment.jsonl"
+        fragment.write_text('{"fingerprint": "ab', newline="")  # crash mid-append
+        out = tmp_path / "m.jsonl"
+        report = merge_result_files([empty, fragment], out)
+        assert report.merged == 0 and report.records_read == 0
+        assert not out.exists()
+
+
+class TestIncrementalMerge:
+    def test_existing_output_is_first_input(self, tmp_path):
+        out = tmp_path / "m.jsonl"
+        a = write_store(tmp_path / "a", [make_result(1)])
+        merge_result_files([a.path], out)
+        b = write_store(tmp_path / "b", [make_result(2)])
+        report = merge_result_files([b.path], out)
+        assert report.records_read == 2  # previous merge output + new input
+        assert report.merged == 2
+
+    def test_existing_output_ignored_when_disabled(self, tmp_path):
+        out = tmp_path / "m.jsonl"
+        a = write_store(tmp_path / "a", [make_result(1)])
+        merge_result_files([a.path], out)
+        b = write_store(tmp_path / "b", [make_result(2)])
+        report = merge_result_files(
+            [b.path], out, include_existing_output=False
+        )
+        assert report.merged == 1
+        [record] = ResultStore.from_path(out).records()
+        assert record["seed"] == 2
+
+    def test_merge_is_idempotent(self, tmp_path):
+        out = tmp_path / "m.jsonl"
+        a = write_store(tmp_path / "a", [make_result(1), make_result(2)])
+        merge_result_files([a.path], out)
+        first = out.read_text()
+        report = merge_result_files([a.path], out)
+        assert report.ok
+        assert out.read_text() == first
+
+    def test_no_scratch_file_left_behind(self, tmp_path):
+        out = tmp_path / "m.jsonl"
+        a = write_store(tmp_path / "a", [make_result(1)])
+        merge_result_files([a.path], out)
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
