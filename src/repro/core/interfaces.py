@@ -9,6 +9,7 @@ given: a way to run it on a semi-graph and its declared complexity function
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -47,5 +48,22 @@ class OracleCostModel:
     complexity: ComplexityFunction
 
     def charged_rounds(self, max_degree: int, n: int) -> int:
-        """The rounds charged for running the black box on degree ``max_degree``."""
-        return int(round(self.complexity(max(max_degree, 1)))) + log_star(max(n, 2))
+        """The rounds charged for running the black box on degree ``max_degree``.
+
+        The complexity value is rounded to the nearest integer with
+        Python's banker's rounding (``round``: halves go to the even
+        neighbour, so 2.5 charges 2 rounds and 3.5 charges 4) before the
+        ``log* n`` term is added.  A complexity function that returns a
+        negative or non-finite value is a broken model, not a free black
+        box — it is rejected here rather than silently truncated into a
+        bogus round count.
+        """
+        degree = max(max_degree, 1)
+        value = float(self.complexity(degree))
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(
+                f"cost model {self.name!r}: complexity {self.complexity.name!r} "
+                f"returned {value!r} for degree {degree}; charged rounds require "
+                f"a finite, non-negative complexity value"
+            )
+        return int(round(value)) + log_star(max(n, 2))

@@ -69,6 +69,27 @@ GATHER_OVERHEAD = 2
 ROUNDS_PER_STAR_COLLECTION = 2
 
 
+def gather_and_solve_rounds(semigraph_part: SemiGraph) -> tuple[int, list[int]]:
+    """The gather-and-solve round account of the sequential phases.
+
+    Every connected component of ``semigraph_part`` is gathered at one
+    node (its diameter in rounds, all components in parallel), solved
+    there, and the solution is broadcast back — ``2 · max diameter``
+    plus :data:`GATHER_OVERHEAD`, or 0 when there is nothing to gather.
+    Returns the charged rounds and the per-component diameters (recorded
+    in the transform's run details).  Shared with the experiment layer's
+    sinkless-orientation and list-variant workload families so their
+    round columns stay on the same account as the transforms.
+    """
+    diameters = [
+        semigraph_part.component_diameter(component)
+        for component in semigraph_part.connected_components()
+    ]
+    if not diameters:
+        return 0, []
+    return 2 * max(diameters) + GATHER_OVERHEAD, diameters
+
+
 @dataclass
 class TransformResult:
     """The outcome of one transformed run."""
@@ -170,13 +191,7 @@ def solve_on_tree(
             problem, semigraph, semigraph_raked, labeling_compressed
         )
         labeling_raked = edge_list_solver.solve(instance)
-        for component in semigraph_raked.connected_components():
-            component_diameters.append(semigraph_raked.component_diameter(component))
-        gather_rounds = (
-            2 * max(component_diameters, default=0) + GATHER_OVERHEAD
-            if component_diameters
-            else 0
-        )
+        gather_rounds, component_diameters = gather_and_solve_rounds(semigraph_raked)
         ledger.charge_max("raked components (gather & solve)", gather_rounds)
 
     labeling = labeling_compressed.merge(labeling_raked)

@@ -6,7 +6,8 @@ workhorse:
 * :mod:`repro.experiments.spec` — declarative :class:`ScenarioSpec`
   (generator family × algorithm family × sizes × seeds), the generator /
   algorithm registries and the built-in suites (``paper-claims``,
-  ``scaling``, ``stress``);
+  ``scaling``, ``stress``, ``workloads``, ``lower-bound``, ``charged``,
+  ``orientation-lists``);
 * :mod:`repro.experiments.runner` — :class:`SweepRunner` fans pending
   cells out over a ``ProcessPoolExecutor``; each worker generates the
   instance, runs the engine under a message meter, verifies the output and
@@ -14,7 +15,9 @@ workhorse:
 * :mod:`repro.experiments.store` — the append-only, fingerprint-keyed
   JSONL :class:`ResultStore` that makes sweeps resumable;
 * :mod:`repro.experiments.report` — rebuilds the paper's scaling tables
-  and ``(log₂ n)^β`` shape fits from the store alone;
+  (with measured-vs-charged columns for cells run under
+  ``OracleCostModel`` charging) and ``(log₂ n)^β`` shape fits — on either
+  the measured or the charged series — from the store alone;
 * :mod:`repro.experiments.cli` — the ``python -m repro.experiments``
   command line (``run`` / ``list`` / ``report``).
 """

@@ -67,7 +67,16 @@ def _shard_spec(text: str) -> ShardSpec:
     try:
         return ShardSpec.parse(text)
     except ValueError as error:
-        raise argparse.ArgumentTypeError(str(error)) from None
+        # Always carry the i/k format hint: ShardSpec's own range errors
+        # ("shard index must be in [0, k)") do not repeat the syntax.
+        raise argparse.ArgumentTypeError(
+            f"{error} (expected i/k with 0 <= i < k, e.g. --shard 0/2)"
+        ) from None
+
+
+# argparse names the converter in its fallback "invalid ... value" error;
+# the function's private name would leak into user-facing output.
+_shard_spec.__name__ = "shard spec"
 
 
 def _positive_int(text: str) -> int:
@@ -84,6 +93,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="declarative experiment sweeps over the fast LOCAL engine",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "built-in suites:\n"
+            "  paper-claims       the Theorem 3/12/15 transforms plus analytic "
+            "shape cells\n"
+            "  scaling            transforms and every direct baseline on "
+            "growing random trees\n"
+            "  stress             denser families: forest unions, planar, "
+            "bounded degree\n"
+            "  workloads          structured families: grids, caterpillars, "
+            "spiders\n"
+            "  lower-bound        the paper's regular-balanced-tree lower-bound "
+            "instances\n"
+            "  charged            transforms under OracleCostModel charging: "
+            "report tables gain\n"
+            "                     measured-vs-charged columns "
+            "(rounds / charged_rounds) and the\n"
+            "                     (log2 n)^beta fits run on either series\n"
+            "  orientation-lists  sinkless orientation and the node/edge-list "
+            "variants (Pi*/Pix)\n"
+            "\n"
+            "`run <suite>` appends one JSONL record per cell; `report` rebuilds "
+            "the scaling\ntables (with a `<scenario> [charged]` column per "
+            "charged scenario) and shape fits\nfrom the store alone."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -209,9 +243,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rounds = (
             f"{result.rounds:.1f}" if isinstance(result.rounds, float) else result.rounds
         )
+        charged = (
+            f" charged={result.charged_rounds:g}"
+            if result.charged_rounds is not None
+            else ""
+        )
         print(
             f"  [{result.fingerprint}] {result.scenario} n={result.n} "
-            f"seed={result.seed} rounds={rounds} "
+            f"seed={result.seed} rounds={rounds}{charged} "
             f"wall={result.wall_clock_s:.3f}s {status}"
         )
 

@@ -32,6 +32,11 @@ __all__ = [
 THEOREM3_ALGORITHM = "predicted-edge-coloring-log12"
 
 
+#: Suffix appended to a scenario's name to label its charged series in
+#: the scaling table and the shape fits.
+CHARGED_SUFFIX = " [charged]"
+
+
 @dataclass
 class ScenarioPoint:
     """One aggregated (scenario, n) data point, averaged over seeds."""
@@ -42,6 +47,9 @@ class ScenarioPoint:
     messages: float | None
     wall_clock_s: float
     verified: bool
+    #: Mean analytic account under ``OracleCostModel`` charging; ``None``
+    #: for cells that ran without a cost model.
+    charged_rounds: float | None = None
 
 
 @dataclass
@@ -60,6 +68,11 @@ class ScenarioSummary:
     @property
     def verified(self) -> bool:
         return all(point.verified for point in self.points)
+
+    @property
+    def has_charged(self) -> bool:
+        """Whether any point carries the analytic charged-rounds account."""
+        return any(point.charged_rounds is not None for point in self.points)
 
 
 def aggregate(records: Iterable[dict[str, Any]]) -> list[ScenarioSummary]:
@@ -83,6 +96,11 @@ def aggregate(records: Iterable[dict[str, Any]]) -> list[ScenarioSummary]:
         for n in sorted(by_n):
             cells = by_n[n]
             message_counts = [c["messages"] for c in cells if c.get("messages") is not None]
+            charged = [
+                c["charged_rounds"]
+                for c in cells
+                if c.get("charged_rounds") is not None
+            ]
             summary.points.append(ScenarioPoint(
                 n=n,
                 cells=len(cells),
@@ -94,6 +112,7 @@ def aggregate(records: Iterable[dict[str, Any]]) -> list[ScenarioSummary]:
                 ),
                 wall_clock_s=sum(c.get("wall_clock_s", 0.0) for c in cells) / len(cells),
                 verified=all(c["verified"] for c in cells),
+                charged_rounds=sum(charged) / len(charged) if charged else None,
             ))
         summaries.append(summary)
     return summaries
@@ -110,13 +129,15 @@ def scenario_table(summary: ScenarioSummary) -> MeasurementTable:
     """The per-scenario detail table (one row per size)."""
     table = MeasurementTable(
         f"{summary.scenario}  [{summary.generator} × {summary.algorithm}]",
-        ["n", "cells", "rounds (mean)", "messages (mean)", "wall s (mean)", "verified"],
+        ["n", "cells", "rounds (mean)", "charged (mean)", "messages (mean)",
+         "wall s (mean)", "verified"],
     )
     for point in summary.points:
         table.add_row(
             _format_n(point.n),
             point.cells,
             round(point.rounds, 2),
+            round(point.charged_rounds, 2) if point.charged_rounds is not None else "-",
             round(point.messages, 1) if point.messages is not None else "-",
             round(point.wall_clock_s, 4),
             "ok" if point.verified else "FAILED",
@@ -125,18 +146,34 @@ def scenario_table(summary: ScenarioSummary) -> MeasurementTable:
 
 
 def scaling_table(summaries: list[ScenarioSummary]) -> MeasurementTable:
-    """The paper-style scaling table: sizes × measured scenarios, mean rounds."""
+    """The paper-style scaling table: sizes × measured scenarios, mean rounds.
+
+    Scenarios that ran under ``OracleCostModel`` charging get a second
+    ``<scenario> [charged]`` column, so the measured engine and the
+    analytic account sit side by side per size.
+    """
     measured = [summary for summary in summaries if not summary.is_analytic]
     sizes = sorted({point.n for summary in measured for point in summary.points})
+    columns: list[str] = ["n"]
+    for summary in measured:
+        columns.append(summary.scenario)
+        if summary.has_charged:
+            columns.append(summary.scenario + CHARGED_SUFFIX)
     table = MeasurementTable(
-        "Measured rounds by instance size (mean over seeds)",
-        ["n"] + [summary.scenario for summary in measured],
+        "Measured (and charged) rounds by instance size (mean over seeds)",
+        columns,
     )
     for n in sizes:
         row: list[Any] = [n]
         for summary in measured:
             match = next((p for p in summary.points if p.n == n), None)
             row.append(round(match.rounds, 1) if match is not None else "-")
+            if summary.has_charged:
+                row.append(
+                    round(match.charged_rounds, 1)
+                    if match is not None and match.charged_rounds is not None
+                    else "-"
+                )
         table.add_row(*row)
     return table
 
@@ -144,27 +181,48 @@ def scaling_table(summaries: list[ScenarioSummary]) -> MeasurementTable:
 def fit_summaries(
     summaries: list[ScenarioSummary],
 ) -> tuple[MeasurementTable, dict[str, float]]:
-    """Fit ``rounds ≈ c · (log₂ n)^β`` per scenario with ≥ 2 usable sizes."""
+    """Fit ``rounds ≈ c · (log₂ n)^β`` per scenario with ≥ 2 usable sizes.
+
+    A scenario carrying the charged series is fitted twice: once on the
+    measured rounds and once on ``charged_rounds`` (labelled
+    ``<scenario> [charged]``), so the Theorem 3 shape check can run on
+    either account.
+    """
     table = MeasurementTable(
         "Log-power fits: rounds ≈ c · (log₂ n)^β",
         ["scenario", "points", "beta", "c", "shape"],
     )
     betas: dict[str, float] = {}
     for summary in summaries:
-        ns = [point.n for point in summary.points]
-        values = [point.rounds for point in summary.points]
-        if len(set(ns)) < 2:
-            continue
-        try:
-            beta, c = fit_power_of_log(ns, values)
-        except ValueError:
-            # Fewer than two points survive the n > 2 / value > 0 filter
-            # (e.g. a --sizes 1,2 sweep); an unfittable scenario should not
-            # take down the rest of the report.
-            continue
-        betas[summary.scenario] = beta
-        shape = "strongly sublogarithmic (beta < 1)" if beta < 1 else "beta >= 1"
-        table.add_row(summary.scenario, len(ns), round(beta, 3), round(c, 3), shape)
+        series: list[tuple[str, list[int], list[float]]] = [(
+            summary.scenario,
+            [point.n for point in summary.points],
+            [point.rounds for point in summary.points],
+        )]
+        if summary.has_charged:
+            charged = [
+                (point.n, point.charged_rounds)
+                for point in summary.points
+                if point.charged_rounds is not None
+            ]
+            series.append((
+                summary.scenario + CHARGED_SUFFIX,
+                [n for n, _ in charged],
+                [value for _, value in charged],
+            ))
+        for label, ns, values in series:
+            if len(set(ns)) < 2:
+                continue
+            try:
+                beta, c = fit_power_of_log(ns, values)
+            except ValueError:
+                # Fewer than two points survive the n > 2 / value > 0 filter
+                # (e.g. a --sizes 1,2 sweep); an unfittable scenario should
+                # not take down the rest of the report.
+                continue
+            betas[label] = beta
+            shape = "strongly sublogarithmic (beta < 1)" if beta < 1 else "beta >= 1"
+            table.add_row(label, len(ns), round(beta, 3), round(c, 3), shape)
     return table, betas
 
 
@@ -180,8 +238,22 @@ class ReportBundle:
     theorem3_beta: float | None
     all_verified: bool
 
+    @property
+    def has_measured(self) -> bool:
+        """Whether any stored scenario is a measured (non-analytic) one."""
+        return any(not summary.is_analytic for summary in self.summaries)
+
     def render(self) -> str:
-        parts = [self.scaling.render(), "", self.fits.render(), ""]
+        parts = []
+        if self.has_measured:
+            parts += [self.scaling.render(), ""]
+        else:
+            parts += [
+                "no measured cells stored — nothing to report in the scaling "
+                "table (analytic cells only)",
+                "",
+            ]
+        parts += [self.fits.render(), ""]
         for table in self.scenario_tables:
             parts += [table.render(), ""]
         if self.theorem3_beta is not None:

@@ -63,6 +63,7 @@ def run_cell(suite_name: str, cell: Cell) -> CellResult:
         n=cell.n,
         seed=cell.seed,
         rounds=fields["rounds"],
+        charged_rounds=fields.get("charged_rounds"),
         messages=messages,
         wall_clock_s=wall_clock,
         verified=bool(fields["verified"]),

@@ -71,6 +71,10 @@ class CellResult:
     wall_clock_s: float
     verified: bool
     k: int | None = None
+    #: Analytic round account of the cell under ``OracleCostModel``
+    #: charging (the Theorem 3 black-box charge); ``None`` for cells that
+    #: ran without a cost model, including every pre-charging record.
+    charged_rounds: float | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     def to_record(self) -> dict[str, Any]:
@@ -84,6 +88,7 @@ class CellResult:
             "n": self.n,
             "seed": self.seed,
             "rounds": self.rounds,
+            "charged_rounds": self.charged_rounds,
             "messages": self.messages,
             "wall_clock_s": round(self.wall_clock_s, 6),
             "verified": self.verified,
@@ -102,6 +107,7 @@ class CellResult:
             n=record["n"],
             seed=record["seed"],
             rounds=record["rounds"],
+            charged_rounds=record.get("charged_rounds"),
             messages=record.get("messages"),
             wall_clock_s=record.get("wall_clock_s", 0.0),
             verified=bool(record["verified"]),
@@ -215,7 +221,13 @@ NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario")
 
 
 def _semantic_payload(record: dict[str, Any]) -> dict[str, Any]:
-    return {k: v for k, v in record.items() if k not in NONSEMANTIC_FIELDS}
+    payload = {k: v for k, v in record.items() if k not in NONSEMANTIC_FIELDS}
+    # Records written before the charged-cost layer carry no
+    # charged_rounds key at all; records written after carry an explicit
+    # null for uncharged cells.  Same result — key presence alone must
+    # not read as a conflict between old and new stores.
+    payload.setdefault("charged_rounds", None)
+    return payload
 
 
 @dataclass

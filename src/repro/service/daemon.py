@@ -33,6 +33,7 @@ finishes, so daemon jobs are resumable and mergeable exactly like CLI
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import socket
 import threading
@@ -43,6 +44,7 @@ from typing import Any
 
 from repro.experiments.spec import get_suite
 from repro.experiments.store import DEFAULT_OUT, ResultStore
+from repro.service.client import ServiceError
 from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.service.protocol import (
     ProtocolError,
@@ -53,10 +55,18 @@ from repro.service.protocol import (
 )
 from repro.service.shard import ShardSpec
 
-__all__ = ["DEFAULT_SOCKET", "Job", "SweepDaemon"]
+__all__ = ["DEFAULT_SOCKET", "MAX_SOCKET_PATH_BYTES", "Job", "SweepDaemon"]
 
 #: Default rendezvous point, next to the default result store.
 DEFAULT_SOCKET = "experiments/service.sock"
+
+#: Portable ceiling on an ``AF_UNIX`` socket path, in bytes.  ``sun_path``
+#: is a fixed-size buffer: 108 bytes on Linux, 104 on the BSDs / macOS,
+#: both including the trailing NUL — 103 payload bytes fit everywhere.
+#: ``bind`` past the limit fails with an opaque ``OSError``, so the daemon
+#: checks up front and names the offending path instead (deep CI tmpdirs
+#: hit this routinely).
+MAX_SOCKET_PATH_BYTES = 103
 
 #: Per-job cap on cell records kept in memory for the ``results`` verb.
 #: The on-disk ResultStore is the durable record; the in-memory copy is a
@@ -145,6 +155,14 @@ class SweepDaemon:
             raise RuntimeError("daemon already started")
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
             raise RuntimeError("the sweep daemon requires Unix-domain sockets")
+        path_bytes = len(os.fsencode(str(self.socket_path)))
+        if path_bytes > MAX_SOCKET_PATH_BYTES:
+            raise ServiceError(
+                f"socket path is {path_bytes} bytes, over the "
+                f"{MAX_SOCKET_PATH_BYTES}-byte AF_UNIX limit: "
+                f"{self.socket_path} — pass a shorter --socket path "
+                f"(e.g. under /tmp)"
+            )
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
         if self.socket_path.exists():
             # A previous daemon that crashed leaves a stale socket file; a

@@ -20,6 +20,13 @@ internal lock); concurrency lives *inside* a sweep, across the worker
 processes.  That is exactly the daemon's job-queue model: many clients
 feed jobs into one pool, jobs run in order, each job saturates the
 workers.
+
+Workers execute cells through the same
+:func:`~repro.experiments.runner.run_cell` entry point as the plain
+runner, so transform cells of the ``charged`` suite run under
+``OracleCostModel`` charging here too: their streamed
+:class:`~repro.experiments.store.CellResult` records carry
+``charged_rounds`` next to the measured ``rounds``.
 """
 
 from __future__ import annotations

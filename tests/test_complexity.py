@@ -178,3 +178,49 @@ def test_property_solve_g_satisfies_defining_equation(kind, n):
     assert 1.0 <= g <= n
     if g < n:  # interior solution: the defining equation holds
         assert f(g) * math.log(g) == pytest.approx(math.log(n), rel=1e-4, abs=1e-6)
+
+
+class TestOracleCostModelChargedRounds:
+    """The analytic black-box charge: rounding convention and validation."""
+
+    def _model(self, fn, name="test-model"):
+        from repro.core.complexity import ComplexityFunction
+        from repro.core.interfaces import OracleCostModel
+
+        return OracleCostModel(name, ComplexityFunction("test-f", fn))
+
+    def test_charge_is_f_plus_log_star(self):
+        model = self._model(lambda x: 100.0)
+        assert model.charged_rounds(8, 2**16) == 100 + log_star(2**16)
+
+    def test_rounding_convention_is_bankers(self):
+        """int(round(...)) rounds halves to the even neighbour: 2.5 -> 2,
+        3.5 -> 4.  Pinned so a reimplementation cannot silently change the
+        charged account by one round."""
+        assert self._model(lambda x: 2.5).charged_rounds(3, 2) == 2 + log_star(2)
+        assert self._model(lambda x: 3.5).charged_rounds(3, 2) == 4 + log_star(2)
+        assert self._model(lambda x: 3.4999).charged_rounds(3, 2) == 3 + log_star(2)
+
+    def test_degree_and_n_floors(self):
+        seen = []
+        model = self._model(lambda x: seen.append(x) or float(x))
+        model.charged_rounds(0, 0)
+        assert seen == [1]  # degree floored to 1; n floored to 2 in log*
+
+    def test_zero_complexity_is_a_valid_charge(self):
+        # polylog models legitimately return 0 at degree 1.
+        model = self._model(polylog(12).fn)
+        assert model.charged_rounds(1, 2**16) == log_star(2**16)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf"), -1.0, -0.001]
+    )
+    def test_invalid_complexity_output_raises_with_model_name(self, bad):
+        model = self._model(lambda x: bad, name="broken-oracle")
+        with pytest.raises(ValueError, match="broken-oracle"):
+            model.charged_rounds(8, 100)
+
+    def test_error_names_the_offending_value(self):
+        model = self._model(lambda x: -7.0, name="negative-oracle")
+        with pytest.raises(ValueError, match="-7.0"):
+            model.charged_rounds(8, 100)

@@ -20,6 +20,31 @@ def smoke_store(tmp_path_factory):
     return store
 
 
+@pytest.fixture(scope="module")
+def charged_store(tmp_path_factory):
+    """One smoke-size charged sweep shared by the measured-vs-charged tests."""
+    directory = tmp_path_factory.mktemp("charged-smoke")
+    store = ResultStore(directory)
+    report = SweepRunner(get_suite("charged"), store, jobs=2, smoke=True).run()
+    assert report.ok
+    return store
+
+
+@pytest.fixture(scope="module")
+def analytic_only_store(tmp_path_factory):
+    """A store holding only analytic cells — no measured scenario at all."""
+    directory = tmp_path_factory.mktemp("analytic-only")
+    store = ResultStore(directory)
+    suite = get_suite("paper-claims")
+    analytic = [c for c in suite.cells() if c.generator == ANALYTIC_GENERATOR]
+    assert analytic
+    from repro.experiments import run_cell
+
+    for cell in analytic:
+        store.append(run_cell("analytic-only", cell))
+    return store
+
+
 class TestReportBundle:
     def test_scaling_table_covers_measured_sizes(self, smoke_store):
         bundle = build_report(smoke_store.records())
@@ -70,6 +95,59 @@ class TestReportBundle:
         )
         assert point.cells == 1 and point.rounds == 12.0
 
+    def test_scaling_table_has_measured_and_charged_columns(self, charged_store):
+        bundle = build_report(charged_store.records())
+        columns = bundle.scaling.columns
+        assert "mis/charged-tree" in columns
+        assert "mis/charged-tree [charged]" in columns
+        # Every charged scenario contributes exactly one charged twin column.
+        charged_columns = [c for c in columns if c.endswith(" [charged]")]
+        assert charged_columns == [
+            c + " [charged]" for c in columns if c + " [charged]" in columns
+        ]
+        # Charged cells land in both columns of their row.
+        measured_index = columns.index("mis/charged-tree")
+        charged_index = columns.index("mis/charged-tree [charged]")
+        populated = [
+            row for row in bundle.scaling.rows if row[measured_index] != "-"
+        ]
+        assert populated
+        for row in populated:
+            assert row[charged_index] != "-"
+            assert row[charged_index] > 0
+
+    def test_fits_run_on_either_series(self, charged_store):
+        bundle = build_report(charged_store.records())
+        assert "mis/charged-tree" in bundle.betas
+        assert "mis/charged-tree [charged]" in bundle.betas
+        fit_labels = [row[0] for row in bundle.fits.rows]
+        assert "mis/charged-tree" in fit_labels
+        assert "mis/charged-tree [charged]" in fit_labels
+
+    def test_uncharged_store_has_no_charged_columns(self, smoke_store):
+        bundle = build_report(smoke_store.records())
+        assert not any(
+            column.endswith(" [charged]") for column in bundle.scaling.columns
+        )
+
+    def test_pre_charging_records_aggregate_cleanly(self):
+        """Records written before the charged_rounds field existed have no
+        such key at all; they must aggregate as uncharged cells."""
+
+        def record(n, seed):
+            return {
+                "fingerprint": f"{n:08x}{seed:08x}", "suite": "s", "scenario": "old",
+                "generator": "random-tree", "algorithm": "baseline-mis",
+                "n": n, "seed": seed, "rounds": 7.0, "messages": 10,
+                "wall_clock_s": 0.1, "verified": True, "k": None, "extras": {},
+            }
+
+        bundle = build_report([record(100, 1), record(200, 1)])
+        summary = bundle.summaries[0]
+        assert not summary.has_charged
+        assert all(point.charged_rounds is None for point in summary.points)
+        assert "old [charged]" not in bundle.betas
+
     def test_unfittable_scenario_skipped_not_fatal(self):
         records = [
             {
@@ -83,6 +161,65 @@ class TestReportBundle:
         bundle = build_report(records)
         assert "tiny-n" not in bundle.betas
         assert bundle.theorem3_beta is None
+
+
+class TestAnalyticOnlyAndEmptyStores:
+    """report/merge on stores with no measured cells must not crash and
+    must keep their CSV/JSON exports well-formed."""
+
+    def test_build_report_on_analytic_only_store(self, analytic_only_store):
+        bundle = build_report(analytic_only_store.records())
+        assert not bundle.has_measured
+        assert bundle.scaling.rows == []
+        assert bundle.scaling.columns == ["n"]
+        assert bundle.theorem3_beta is not None  # the fits still run
+        rendered = bundle.render()
+        assert "nothing to report" in rendered
+        assert "analytic cells only" in rendered
+
+    def test_cli_report_analytic_only_exports_well_formed(
+        self, analytic_only_store, tmp_path, capsys
+    ):
+        json_path = tmp_path / "analytic.json"
+        csv_path = tmp_path / "analytic.csv"
+        assert main([
+            "report", "--out", str(analytic_only_store.directory),
+            "--json", str(json_path), "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to report" in out
+        tables = json.loads(json_path.read_text())
+        assert tables and all({"title", "columns", "rows"} <= set(t) for t in tables)
+        # The scaling CSV degrades to a header-only file, still parseable.
+        lines = csv_path.read_text().splitlines()
+        assert lines == ["n"]
+        parsed = MeasurementTable.from_csv(csv_path.read_text(), title="scaling")
+        assert parsed.columns == ["n"] and parsed.rows == []
+
+    def test_cli_report_empty_store_says_so_and_exits_2(self, tmp_path, capsys):
+        assert main(["report", "--out", str(tmp_path / "never-written")]) == 2
+        assert "no stored results" in capsys.readouterr().err
+
+    def test_merge_of_analytic_only_stores_reports_cleanly(
+        self, analytic_only_store, tmp_path, capsys
+    ):
+        merged = tmp_path / "merged" / "results.jsonl"
+        assert main([
+            "merge", "--out", str(merged), str(analytic_only_store.path),
+        ]) == 0
+        assert "0 conflicts" in capsys.readouterr().out
+        assert main(["report", "--out", str(merged.parent)]) == 0
+        assert "nothing to report" in capsys.readouterr().out
+
+    def test_merge_of_empty_stores_writes_nothing_and_exits_2(
+        self, tmp_path, capsys
+    ):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        out = tmp_path / "m" / "results.jsonl"
+        assert main(["merge", "--out", str(out), str(empty)]) == 2
+        assert "nothing written" in capsys.readouterr().err
+        assert not out.exists()
 
 
 class TestCli:

@@ -21,7 +21,10 @@ NON_ALGORITHM_EXPORTS = {"TrulyLocalAlgorithm", "OracleCostModel"}
 
 class TestRegistries:
     def test_builtin_suites_registered(self):
-        assert {"paper-claims", "scaling", "stress"} <= set(SUITES)
+        assert {
+            "paper-claims", "scaling", "stress", "workloads", "lower-bound",
+            "charged", "orientation-lists",
+        } <= set(SUITES)
 
     def test_every_suite_validates(self):
         for suite in SUITES.values():
@@ -45,6 +48,49 @@ class TestRegistries:
             for scenario in suite.scenarios
         }
         assert used == set(GENERATORS)
+
+    def test_every_algorithm_family_used_by_a_suite(self):
+        """Suite completeness over algorithm families: every built-in
+        family — including the charged transforms, sinkless orientation
+        and the Π*/Π× list variants — is exercised by some suite.  Other
+        test modules register throwaway families into the (global)
+        registry, so scope the check to the families the package itself
+        defines."""
+        used = {
+            scenario.algorithm
+            for suite in SUITES.values()
+            for scenario in suite.scenarios
+        }
+        builtin = {
+            name
+            for name, family in ALGORITHMS.items()
+            if family.run.__module__ == "repro.experiments.spec"
+        }
+        assert {
+            "sinkless-orientation", "edge-list-mis", "charged-arb-edge-coloring"
+        } <= builtin  # the scoping itself must not silently exclude built-ins
+        assert builtin <= used
+
+    def test_orientation_and_list_families_covered_by_a_suite(self):
+        suite = get_suite("orientation-lists")
+        algorithms = {scenario.algorithm for scenario in suite.scenarios}
+        assert {
+            "sinkless-orientation",
+            "node-list-edge-coloring",
+            "node-list-matching",
+            "edge-list-mis",
+            "edge-list-coloring",
+        } <= algorithms
+
+    def test_charged_suite_pairs_every_charged_family(self):
+        suite = get_suite("charged")
+        algorithms = {scenario.algorithm for scenario in suite.scenarios}
+        assert {
+            "charged-arb-edge-coloring",
+            "charged-arb-matching",
+            "charged-tree-mis",
+            "charged-tree-deg+1-coloring",
+        } <= algorithms
 
     def test_get_suite_names_known_suites_on_miss(self):
         with pytest.raises(KeyError, match="paper-claims"):
@@ -123,6 +169,90 @@ class TestStructuredFamilies:
         result = run_cell("test", cell)
         assert result.verified
         assert result.rounds > 0
+
+
+class TestOrientationAndListFamilies:
+    """The sinkless-orientation and Π*/Π× algorithm families run verified."""
+
+    @pytest.mark.parametrize(
+        "generator, algorithm, n",
+        [
+            ("grid", "sinkless-orientation", 36),
+            ("bounded-degree-8", "sinkless-orientation", 60),
+            ("balanced-tree-3", "sinkless-orientation", 22),
+            ("random-tree", "node-list-edge-coloring", 40),
+            ("random-tree", "node-list-matching", 40),
+            ("random-tree", "edge-list-mis", 40),
+            ("caterpillar-3", "edge-list-coloring", 40),
+            ("spider", "edge-list-coloring", 40),
+            ("grid", "edge-list-mis", 36),
+        ],
+    )
+    def test_small_cell_runs_verified(self, generator, algorithm, n):
+        result = run_cell("test", Cell("s", generator, algorithm, n, 1))
+        assert result.verified
+        assert result.rounds > 0
+        # None of these families run under a cost model.
+        assert result.charged_rounds is None
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_list_families_deterministic_per_seed(self, seed):
+        first = run_cell("s", Cell("s", "random-tree", "edge-list-mis", 30, seed))
+        second = run_cell("s", Cell("s", "random-tree", "edge-list-mis", 30, seed))
+        assert first.rounds == second.rounds
+        assert first.extras == second.extras
+
+    def test_sinkless_extras_report_constrained_nodes(self):
+        result = run_cell("s", Cell("s", "balanced-tree-3", "sinkless-orientation", 22, 1))
+        # 1 + 3·(2^d − 1) nodes: the 10 internal ones have degree 3.
+        assert result.extras["constrained_nodes"] == 10
+        assert result.extras["oriented_edges"] == 21
+        assert result.extras["min_degree"] == 3
+
+    def test_list_extras_report_the_split(self):
+        result = run_cell("s", Cell("s", "random-tree", "node-list-matching", 30, 1))
+        assert result.extras["list_variant"] == "node-list"
+        assert result.extras["baseline_edges"] + result.extras["list_edges"] == 29
+
+
+class TestChargedFamilies:
+    """Transform cells run under OracleCostModel charging."""
+
+    @pytest.mark.parametrize(
+        "generator, algorithm",
+        [
+            ("random-tree", "charged-arb-edge-coloring"),
+            ("planar-triangulation", "charged-arb-edge-coloring"),
+            ("random-tree", "charged-arb-matching"),
+            ("random-tree", "charged-tree-mis"),
+            ("random-tree", "charged-tree-deg+1-coloring"),
+        ],
+    )
+    def test_charged_cell_carries_both_accounts(self, generator, algorithm):
+        result = run_cell("test", Cell("s", generator, algorithm, 40, 1))
+        assert result.verified
+        assert result.rounds > 0
+        assert result.charged_rounds is not None and result.charged_rounds > 0
+        measured_a = result.extras["algorithm_rounds_measured"]
+        charged_a = result.extras["algorithm_rounds_charged"]
+        # charged total = measured total with the A-phase swapped for the
+        # analytic charge (the TransformResult identity, end to end).
+        assert result.charged_rounds == result.rounds - measured_a + charged_a
+
+    def test_self_charged_twin_measures_like_uncharged_family(self):
+        """The self-model families charge the A-phase with the baseline's
+        own declared f, so the cut-off k — and hence the measured series —
+        matches the uncharged twin cell for cell."""
+        charged = run_cell("s", Cell("s", "random-tree", "charged-tree-mis", 60, 1))
+        plain = run_cell("s", Cell("s", "random-tree", "tree-mis", 60, 1))
+        assert charged.rounds == plain.rounds
+        assert charged.k == plain.k
+        assert plain.charged_rounds is None
+
+    def test_uncharged_families_store_no_charge(self):
+        result = run_cell("s", Cell("s", "random-tree", "arb-edge-coloring", 40, 1))
+        assert result.charged_rounds is None
+        assert "algorithm_rounds_charged" not in result.extras
 
 
 class TestScenarioValidation:

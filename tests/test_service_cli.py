@@ -37,6 +37,24 @@ class TestRunShard:
             main(["run", "paper-claims", "--shard", "2of3"])
         assert "i/k" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("bad", ["5/2", "1/2/3", "a/b", "0/0"])
+    def test_every_shard_parse_failure_carries_format_hint(self, bad, capsys):
+        """ShardSpec's own range errors ("index must be in [0, k)") do not
+        mention the syntax; the CLI converter must append the i/k hint so
+        users see the expected format whatever the failure mode."""
+        with pytest.raises(SystemExit):
+            main(["run", "paper-claims", "--shard", bad])
+        err = capsys.readouterr().err
+        assert "argument --shard" in err
+        assert "i/k" in err and "--shard 0/2" in err
+
+    def test_shard_converter_has_readable_name(self):
+        """argparse's fallback error is "invalid <type.__name__> value";
+        the private converter name must not leak into user output."""
+        from repro.experiments.cli import _shard_spec
+
+        assert _shard_spec.__name__ == "shard spec"
+
 
 class TestMergeCli:
     def test_all_inputs_missing_exits_2(self, tmp_path, capsys):

@@ -248,6 +248,40 @@ class TestShutdown:
             daemon.close()
 
 
+class TestSocketPathLimit:
+    """AF_UNIX sun_path is a ~104-byte buffer; the daemon must refuse an
+    over-long path with a clear error instead of an opaque bind OSError."""
+
+    def test_long_socket_path_raises_service_error_naming_path(self, tmp_path):
+        deep = tmp_path / ("d" * 40) / ("e" * 40) / ("f" * 40) / "svc.sock"
+        daemon = SweepDaemon(socket_path=deep, workers=1)
+        with pytest.raises(ServiceError) as excinfo:
+            daemon.start()
+        message = str(excinfo.value)
+        assert "AF_UNIX" in message
+        assert str(deep) in message
+        assert "--socket" in message
+        # The refusal happened before any resource was acquired: the pool
+        # never forked, the directory was never created, and close() after
+        # the failed start is a clean no-op.
+        assert not daemon.pool.started
+        assert not deep.parent.exists()
+        daemon.close()
+
+    def test_limit_is_not_hit_by_short_paths(self, tmp_path):
+        from repro.service.daemon import MAX_SOCKET_PATH_BYTES
+
+        path = tmp_path / "ok.sock"
+        if len(str(path).encode()) > MAX_SOCKET_PATH_BYTES:
+            pytest.skip("test tmpdir itself exceeds the AF_UNIX limit")
+        daemon = SweepDaemon(socket_path=path, workers=1)
+        daemon.start()
+        try:
+            assert ServiceClient(path).ping()["ok"] is True
+        finally:
+            daemon.close()
+
+
 class TestProtocol:
     def test_malformed_line_answered_with_error(self, daemon):
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)

@@ -226,3 +226,35 @@ class TestIncrementalMerge:
         a = write_store(tmp_path / "a", [make_result(1)])
         merge_result_files([a.path], out)
         assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+
+class TestSchemaCompat:
+    """Stores written before the charged-cost layer merge cleanly with
+    stores written after it."""
+
+    def test_missing_charged_rounds_key_equals_explicit_null(self, tmp_path):
+        new = make_result(1)
+        record = new.to_record()
+        assert record["charged_rounds"] is None
+        old_record = {k: v for k, v in record.items() if k != "charged_rounds"}
+        (tmp_path / "old.jsonl").write_text(json.dumps(old_record) + "\n")
+        write_store(tmp_path / "new", [new])
+        out = tmp_path / "m.jsonl"
+        report = merge_result_files(
+            [tmp_path / "old.jsonl", tmp_path / "new" / "results.jsonl"], out
+        )
+        assert report.ok, [c.describe() for c in report.conflicts]
+        assert report.duplicates == 1 and report.merged == 1
+
+    def test_differing_charges_still_conflict(self, tmp_path):
+        plain = make_result(1)
+        charged = make_result(1)
+        charged.charged_rounds = 42.0
+        write_store(tmp_path / "a", [plain])
+        write_store(tmp_path / "b", [charged])
+        report = merge_result_files(
+            [tmp_path / "a" / "results.jsonl", tmp_path / "b" / "results.jsonl"],
+            tmp_path / "m.jsonl",
+        )
+        assert not report.ok
+        assert "charged_rounds" in report.conflicts[0].describe()
