@@ -38,11 +38,14 @@ from repro.experiments.spec import (
 )
 from repro.experiments.store import (
     CellResult,
+    DuplicateResolution,
     MergeConflict,
     MergeReport,
     ResultStore,
     cell_fingerprint,
     merge_result_files,
+    resolve_duplicate,
+    semantic_payload,
 )
 from repro.experiments.runner import SweepReport, SweepRunner, default_jobs, run_cell
 from repro.experiments.report import ReportBundle, build_report
@@ -62,11 +65,14 @@ __all__ = [
     "register_generator",
     "register_suite",
     "CellResult",
+    "DuplicateResolution",
     "MergeConflict",
     "MergeReport",
     "ResultStore",
     "cell_fingerprint",
     "merge_result_files",
+    "resolve_duplicate",
+    "semantic_payload",
     "SweepReport",
     "SweepRunner",
     "default_jobs",

@@ -1,5 +1,5 @@
 """Command-line interface:
-``python -m repro.experiments <run|list|report|merge|serve|submit>``.
+``python -m repro.experiments <run|list|report|merge|serve|submit|collect>``.
 
 Examples::
 
@@ -24,6 +24,17 @@ Distributed sharding and the sweep service::
     python -m repro.experiments serve --workers 4 &
     python -m repro.experiments submit paper-claims --smoke --wait
 
+Cross-machine streaming (TCP, token-authenticated via
+``REPRO_SERVICE_TOKEN``)::
+
+    # collector machine:
+    python -m repro.experiments collect --listen 0.0.0.0:7919 --out central
+    # shard workers, each streaming every completed cell live:
+    python -m repro.experiments run scaling --shard 0/2 --collector host:7919
+    python -m repro.experiments run scaling --shard 1/2 --collector host:7919
+    # fetch the rendered report straight off the collector:
+    python -m repro.experiments report --connect host:7919 --json report.json
+
 ``run`` appends to ``<out>/results.jsonl`` (default ``experiments/results``)
 and is resumable: completed-and-verified cells are skipped by fingerprint,
 so a crashed or interrupted sweep continues where it stopped.  ``report``
@@ -36,7 +47,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments.report import _format_n, build_report
+from repro.experiments.report import _format_n, build_report, render_json_tables
 from repro.experiments.runner import SweepRunner, default_jobs
 from repro.experiments.spec import ALGORITHMS, GENERATORS, SUITES, get_suite
 from repro.experiments.store import (
@@ -46,9 +57,11 @@ from repro.experiments.store import (
     merge_result_files,
 )
 from repro.experiments.shard import ShardSpec
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import CollectorSink, ServiceClient, ServiceError
+from repro.service.collector import ResultCollector
 from repro.service.daemon import DEFAULT_SOCKET, SweepDaemon
 from repro.service.pool import DEFAULT_BATCH_SIZE
+from repro.service.protocol import AUTH_TOKEN_ENV
 
 __all__ = ["main", "build_parser"]
 
@@ -116,7 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
             "\n"
             "`run <suite>` appends one JSONL record per cell; `report` rebuilds "
             "the scaling\ntables (with a `<scenario> [charged]` column per "
-            "charged scenario) and shape fits\nfrom the store alone."
+            "charged scenario) and shape fits\nfrom the store alone.\n"
+            "\n"
+            "cross-machine transport:\n"
+            "  `serve --listen host:port` adds a token-authenticated TCP "
+            "listener next to the\n  Unix socket, and `collect --listen "
+            "host:port` runs a result collector: shard\n  workers started with "
+            "`run <suite> --shard i/k --collector host:port` stream each\n"
+            "  completed cell record live into the collector's deduplicated "
+            "store (verified\n  records outrank unverified ones, same policy "
+            "as `merge`).  TCP requires a\n  shared token from --token or the "
+            f"{AUTH_TOKEN_ENV} environment variable; Unix\n  sockets need "
+            "none.  `report --connect host:port [--job job-N]` fetches the\n"
+            "  server-side `report` verb: the rendered bundle for a collector "
+            "store or a\n  finished daemon job, byte-identical to a local "
+            "`report --json` on that store."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -153,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=DEFAULT_OUT,
         help=f"result-store directory (default: {DEFAULT_OUT})",
     )
+    run.add_argument(
+        "--collector", default=None, metavar="ENDPOINT",
+        help="also stream each completed cell record to a result collector "
+        "(host:port or a Unix socket path); the local store is still written",
+    )
+    run.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for a TCP --collector (default: ${AUTH_TOKEN_ENV})",
+    )
     run.add_argument("--quiet", action="store_true", help="no per-cell progress lines")
 
     sub.add_parser("list", help="list suites, generators and algorithms")
@@ -186,6 +222,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=_positive_int, default=DEFAULT_BATCH_SIZE,
         help=f"cells per task submission (default: {DEFAULT_BATCH_SIZE})",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="also listen on TCP (token-authenticated) for cross-machine "
+        "clients, e.g. --listen 0.0.0.0:7919",
+    )
+    serve.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for the TCP listener (default: ${AUTH_TOKEN_ENV})",
+    )
+
+    collect = sub.add_parser(
+        "collect", help="run a result collector: stream sharded sweep results "
+        "into one deduplicated store",
+    )
+    collect.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="TCP address to collect on (token-authenticated), "
+        "e.g. --listen 0.0.0.0:7919",
+    )
+    collect.add_argument(
+        "--socket", default=None,
+        help="Unix socket path to collect on (no token needed)",
+    )
+    collect.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"deduplicated result-store directory (default: {DEFAULT_OUT})",
+    )
+    collect.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for the TCP listener (default: ${AUTH_TOKEN_ENV})",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit a sweep job to a running daemon",
@@ -194,11 +261,21 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("suite", help="suite name to run")
     submit.add_argument(
         "--socket", default=DEFAULT_SOCKET,
-        help=f"daemon socket path (default: {DEFAULT_SOCKET})",
+        help="daemon endpoint: Unix socket path or host:port "
+        f"(default: {DEFAULT_SOCKET})",
     )
     submit.add_argument(
         "--out", default=DEFAULT_OUT,
         help=f"result-store directory on the daemon side (default: {DEFAULT_OUT})",
+    )
+    submit.add_argument(
+        "--collector", default=None, metavar="ENDPOINT",
+        help="have the daemon stream the job's records to this result "
+        "collector as well",
+    )
+    submit.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for a TCP daemon (default: ${AUTH_TOKEN_ENV})",
     )
     submit.add_argument(
         "--wait", action="store_true",
@@ -220,9 +297,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--suite", default=None,
         help="only report records of this suite (default: all records)",
     )
+    report.add_argument(
+        "--connect", default=None, metavar="ENDPOINT",
+        help="fetch the rendered bundle from a collector or daemon "
+        "(host:port or Unix socket path) instead of reading a local store",
+    )
+    report.add_argument(
+        "--job", default=None,
+        help="with --connect against a daemon: the finished job to report on",
+    )
+    report.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for a TCP --connect (default: ${AUTH_TOKEN_ENV})",
+    )
     report.add_argument("--json", default=None, help="also write the tables as JSON")
     report.add_argument("--csv", default=None, help="also write the scaling table as CSV")
     return parser
+
+
+def _make_client(endpoint: str, token: str | None) -> "ServiceClient | int":
+    """A ServiceClient, or exit code 2 after reporting a bad endpoint."""
+    try:
+        return ServiceClient(endpoint, token=token)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -233,9 +332,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     store = ResultStore(args.out)
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    sink = None
+    if args.collector is not None:
+        client = _make_client(args.collector, args.token)
+        if isinstance(client, int):
+            return client
+        sink = CollectorSink(client)
     runner = SweepRunner(
         suite, store, jobs=jobs, smoke=args.smoke, sizes=args.sizes,
-        seeds=args.seeds, shard=args.shard,
+        seeds=args.seeds, shard=args.shard, sinks=(sink,) if sink else (),
     )
 
     def progress(result: CellResult) -> None:
@@ -256,7 +361,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     shard_note = f" [shard {args.shard}]" if args.shard is not None else ""
     print(f"suite {suite.name!r}{shard_note}: {suite.description}")
-    report = runner.run(progress=None if args.quiet else progress)
+    try:
+        report = runner.run(progress=None if args.quiet else progress)
+    finally:
+        if sink is not None:
+            sink.close()
     print(
         f"cells: {report.total_cells} total, {report.skipped} already stored, "
         f"{report.executed} executed, {len(report.failures)} failed, "
@@ -264,6 +373,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"({report.wall_clock_s:.1f}s, jobs={jobs})"
     )
     print(f"store: {store.path}")
+    if sink is not None:
+        print(f"streamed {sink.pushed} record(s) to collector {args.collector}")
+    if report.sink_error is not None:
+        print(
+            f"COLLECTOR STREAM FAILED after {sink.pushed} record(s): "
+            f"{report.sink_error} — the local store is complete; merge it "
+            f"into the collector store to recover",
+            file=sys.stderr,
+        )
     for failure in report.failures:
         print(
             f"FAILED cell {failure.cell.scenario} n={failure.cell.n} "
@@ -294,7 +412,37 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_report_remote(args: argparse.Namespace) -> int:
+    """``report --connect``: fetch the server-side bundle over the wire."""
+    if args.suite is not None:
+        # The report verb has no suite filter; silently returning the
+        # full bundle would misreport what the user asked for.
+        print("--suite cannot be combined with --connect", file=sys.stderr)
+        return 2
+    client = _make_client(args.connect, args.token)
+    if isinstance(client, int):
+        return client
+    try:
+        payload = client.report(job=args.job)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(payload["render"])
+    if args.json:
+        Path(args.json).write_text(payload["json"], encoding="utf-8")
+        print(f"wrote {args.json}")
+    if args.csv:
+        Path(args.csv).write_text(payload["csv"], encoding="utf-8")
+        print(f"wrote {args.csv}")
+    return 0 if payload["all_verified"] else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.connect is not None:
+        return _cmd_report_remote(args)
+    if args.job is not None:
+        print("--job only makes sense with --connect", file=sys.stderr)
+        return 2
     store = ResultStore(args.out)
     records = store.records()
     if args.suite is not None:
@@ -319,9 +467,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     bundle = build_report(records)
     print(bundle.render())
     if args.json:
-        tables = [bundle.scaling, bundle.fits] + bundle.scenario_tables
-        payload = "[" + ",\n".join(table.to_json() for table in tables) + "]\n"
-        Path(args.json).write_text(payload, encoding="utf-8")
+        Path(args.json).write_text(render_json_tables(bundle), encoding="utf-8")
         print(f"wrote {args.json}")
     if args.csv:
         Path(args.csv).write_text(bundle.scaling.to_csv(), encoding="utf-8")
@@ -353,7 +499,8 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         daemon = SweepDaemon(
-            socket_path=args.socket, workers=args.workers, batch_size=args.batch_size
+            socket_path=args.socket, workers=args.workers,
+            batch_size=args.batch_size, listen=args.listen, token=args.token,
         )
         daemon.start()
     except (ValueError, RuntimeError, OSError) as error:
@@ -363,7 +510,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"sweep daemon: socket={args.socket} workers={daemon.pool.workers} "
         f"batch-size={daemon.pool.batch_size}"
     )
-    print("verbs: submit / status / results / shutdown  (ctrl-c also stops)")
+    if daemon.tcp_address is not None:
+        host, port = daemon.tcp_address
+        print(f"TCP listener: {host}:{port} (token-authenticated)")
+    print(
+        "verbs: submit / status / results / report / shutdown  "
+        "(ctrl-c also stops)"
+    )
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:
@@ -372,8 +525,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collect(args: argparse.Namespace) -> int:
+    try:
+        collector = ResultCollector(
+            out=args.out, listen=args.listen, socket_path=args.socket,
+            token=args.token,
+        )
+        collector.start()
+    except (ValueError, RuntimeError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    endpoints = []
+    if collector.tcp_address is not None:
+        host, port = collector.tcp_address
+        endpoints.append(f"{host}:{port} (TCP, token-authenticated)")
+    if args.socket is not None:
+        endpoints.append(str(args.socket))
+    print(f"result collector: {' and '.join(endpoints)}")
+    print(f"store: {collector.store.path}")
+    print("verbs: push / status / report / shutdown  (ctrl-c also stops)")
+    try:
+        collector.serve_forever()
+    except KeyboardInterrupt:
+        collector.close()
+    print(
+        f"collector stopped: {collector.accepted} accepted, "
+        f"{collector.dropped} dropped, {collector.conflicts} conflicts"
+    )
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
-    client = ServiceClient(args.socket)
+    client = _make_client(args.socket, args.token)
+    if isinstance(client, int):
+        return client
     try:
         job_id = client.submit(
             args.suite,
@@ -382,6 +567,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             shard=str(args.shard) if args.shard is not None else None,
             out=args.out,
+            collector=args.collector,
         )
         print(f"submitted {args.suite!r} as {job_id}")
         if not args.wait:
@@ -397,6 +583,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     )
     if status["error"]:
         print(f"job error: {status['error']}", file=sys.stderr)
+    if status.get("sink_error"):
+        print(
+            f"collector stream failed: {status['sink_error']}", file=sys.stderr
+        )
     for failure in status["failures"]:
         print(
             f"FAILED cell {failure['scenario']} n={failure['n']} "
@@ -407,6 +597,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         status["state"] == "done"
         and not status["failures"]
         and status["unverified"] == 0
+        and not status.get("sink_error")
     )
     return 0 if ok else 1
 
@@ -421,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "collect":
+        return _cmd_collect(args)
     if args.command == "submit":
         return _cmd_submit(args)
     return _cmd_report(args)

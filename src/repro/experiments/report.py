@@ -26,6 +26,8 @@ __all__ = [
     "scaling_table",
     "fit_summaries",
     "build_report",
+    "render_json_tables",
+    "report_payload",
 ]
 
 #: Name of the analytic algorithm whose fit carries the Theorem 3 claim.
@@ -266,6 +268,35 @@ class ReportBundle:
             "all stored cells verified: " + ("yes" if self.all_verified else "NO")
         )
         return "\n".join(parts)
+
+
+def render_json_tables(bundle: ReportBundle) -> str:
+    """The exact JSON payload ``report --json`` writes for ``bundle``.
+
+    One canonical serialisation shared by the CLI and the daemon/collector
+    ``report`` verb, so a bundle fetched over the wire is byte-identical
+    to one written from the same store locally — the equivalence the
+    streamed-collector path is pinned against.
+    """
+    tables = [bundle.scaling, bundle.fits] + bundle.scenario_tables
+    return "[" + ",\n".join(table.to_json() for table in tables) + "]\n"
+
+
+def report_payload(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """The wire form of a report bundle (the ``report`` verb's response body).
+
+    Raises ``ValueError`` (from :func:`build_report`) when ``records`` is
+    empty — an empty store reports as an error, not an empty bundle.
+    """
+    bundle = build_report(records)
+    return {
+        "render": bundle.render(),
+        "json": render_json_tables(bundle),
+        "csv": bundle.scaling.to_csv(),
+        "betas": bundle.betas,
+        "theorem3_beta": bundle.theorem3_beta,
+        "all_verified": bundle.all_verified,
+    }
 
 
 def build_report(records: Iterable[dict[str, Any]]) -> ReportBundle:

@@ -20,7 +20,7 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.experiments.shard import ShardSpec, shard_cells
 
@@ -91,10 +91,15 @@ class SweepReport:
     unverified: int
     failures: list[CellFailure] = field(default_factory=list)
     wall_clock_s: float = 0.0
+    #: First failure of a result sink (e.g. the ``--collector`` stream).
+    #: The sweep itself keeps running on the local store — the records are
+    #: safe and mergeable — but the run is not ``ok``: the caller asked
+    #: for streaming and part of the stream was lost.
+    sink_error: str | None = None
 
     @property
     def ok(self) -> bool:
-        return not self.failures and self.unverified == 0
+        return not self.failures and self.unverified == 0 and self.sink_error is None
 
 
 class SweepRunner:
@@ -109,6 +114,7 @@ class SweepRunner:
         sizes: tuple[int, ...] | None = None,
         seeds: tuple[int, ...] | None = None,
         shard: ShardSpec | None = None,
+        sinks: Sequence[Callable[[CellResult], None]] = (),
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -119,6 +125,7 @@ class SweepRunner:
         self.sizes = sizes
         self.seeds = seeds
         self.shard = shard
+        self.sinks = tuple(sinks)
 
     def pending_cells(self) -> tuple[list[Cell], int]:
         """The cells still to run, and how many the store already covers.
@@ -145,11 +152,24 @@ class SweepRunner:
             unverified=0,
         )
 
+        sinks = list(self.sinks)
+
         def record(result: CellResult) -> None:
             self.store.append(result)
             report.executed += 1
             if not result.verified:
                 report.unverified += 1
+            if sinks:
+                # A sink (e.g. the --collector stream) that fails must not
+                # fail the sweep: the result is already durable in the
+                # local store.  The first error is reported once and the
+                # sink disabled — resume/merge recovers the lost stream.
+                try:
+                    for sink in sinks:
+                        sink(result)
+                except Exception as error:  # noqa: BLE001 - surfaced in report
+                    report.sink_error = repr(error)
+                    sinks.clear()
             if progress is not None:
                 progress(result)
 

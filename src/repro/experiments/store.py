@@ -29,9 +29,12 @@ __all__ = [
     "cell_fingerprint",
     "CellResult",
     "ResultStore",
+    "DuplicateResolution",
     "MergeConflict",
     "MergeReport",
     "merge_result_files",
+    "resolve_duplicate",
+    "semantic_payload",
 ]
 
 #: Default result-store directory, shared by the CLI and the daemon so
@@ -220,7 +223,8 @@ class ResultStore:
 NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario")
 
 
-def _semantic_payload(record: dict[str, Any]) -> dict[str, Any]:
+def semantic_payload(record: dict[str, Any]) -> dict[str, Any]:
+    """The fields of a record that make it a *result* (for conflicts)."""
     payload = {k: v for k, v in record.items() if k not in NONSEMANTIC_FIELDS}
     # Records written before the charged-cost layer carry no
     # charged_rounds key at all; records written after carry an explicit
@@ -228,6 +232,43 @@ def _semantic_payload(record: dict[str, Any]) -> dict[str, Any]:
     # not read as a conflict between old and new stores.
     payload.setdefault("charged_rounds", None)
     return payload
+
+
+@dataclass(frozen=True)
+class DuplicateResolution:
+    """The outcome of :func:`resolve_duplicate` on one fingerprint collision."""
+
+    keep_newcomer: bool
+    conflict: bool
+
+
+def resolve_duplicate(
+    previous: dict[str, Any], record: dict[str, Any]
+) -> DuplicateResolution:
+    """The store's one duplicate policy: rank by verification, then recency.
+
+    A **verified** record always beats an unverified one — an unverified
+    record is "not completed" per the store's resume semantics, so its
+    re-run legitimately supersedes it and it must never displace a
+    completed result, whatever order the two arrive in.  Between records
+    of equal verification status the *newcomer* wins (last-write-wins),
+    and differing semantic payloads at equal rank are flagged as a
+    conflict — for a deterministic cell that means diverging code or
+    environments produced the inputs.
+
+    Shared verbatim by :func:`merge_result_files` (file-based shard
+    merging) and the streaming collector, so the two fan-in paths cannot
+    drift apart.
+    """
+    previous_ok = bool(previous.get("verified"))
+    record_ok = bool(record.get("verified"))
+    if previous_ok and not record_ok:
+        return DuplicateResolution(keep_newcomer=False, conflict=False)
+    conflict = (
+        previous_ok == record_ok
+        and semantic_payload(previous) != semantic_payload(record)
+    )
+    return DuplicateResolution(keep_newcomer=True, conflict=conflict)
 
 
 @dataclass
@@ -325,16 +366,10 @@ def merge_result_files(
             previous = merged.get(fingerprint)
             if previous is not None:
                 report.duplicates += 1
-                previous_ok = bool(previous.get("verified"))
-                record_ok = bool(record.get("verified"))
-                if previous_ok and not record_ok:
-                    # A completed result is never displaced by an
-                    # unverified record, whatever the input order.
+                resolution = resolve_duplicate(previous, record)
+                if not resolution.keep_newcomer:
                     continue
-                if (
-                    previous_ok == record_ok
-                    and _semantic_payload(previous) != _semantic_payload(record)
-                ):
+                if resolution.conflict:
                     report.conflicts.append(MergeConflict(
                         fingerprint=fingerprint,
                         kept_source=str(path),

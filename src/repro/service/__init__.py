@@ -1,7 +1,7 @@
 """The distributed sweep service.
 
-Four layers turn the single-machine experiment runner into a
-multi-worker, resumable, mergeable sweep platform:
+Five layers turn the single-machine experiment runner into a
+multi-worker, multi-machine, resumable, mergeable sweep platform:
 
 * :mod:`repro.service.shard` — deterministic ``i/k`` partitioning of a
   suite's cells by fingerprint (implemented in
@@ -10,16 +10,33 @@ multi-worker, resumable, mergeable sweep platform:
 * :mod:`repro.service.pool` — :class:`WorkerPool`, warm worker processes
   reused across sweeps with batched cell submission, amortising process
   startup over many small cells;
+* :mod:`repro.service.protocol` — the transport-neutral line-JSON wire
+  protocol: :class:`Endpoint` addresses (Unix path or ``host:port``),
+  the shared :class:`LineServer` listener (accept loops, per-connection
+  threads, TCP token auth) that the daemon and the collector are verb
+  tables on top of;
 * :mod:`repro.service.daemon` / :mod:`repro.service.client` — a job
-  queue speaking line-delimited JSON over a local socket (``serve`` /
-  ``submit`` subcommands) so many clients feed one long-lived pool;
-* the merge layer lives with the store
-  (:func:`repro.experiments.store.merge_result_files`): sharded JSONL
-  stores union by fingerprint into one store that ``report`` consumes
-  unchanged.
+  queue speaking the protocol over a local socket and, with
+  ``--listen``, over token-authenticated TCP (``serve`` / ``submit``
+  subcommands), so many clients feed one long-lived pool; the ``report``
+  verb serves rendered report bundles for finished jobs;
+* :mod:`repro.service.collector` — :class:`ResultCollector`, the live
+  fan-in: shard workers (``run --shard i/k --collector host:port``)
+  stream each completed cell record over the wire into one
+  fingerprint-deduplicated store that ``report`` consumes unchanged —
+  the cross-machine replacement for after-the-fact file merging, which
+  remains available via :func:`repro.experiments.store.merge_result_files`
+  and shares its duplicate policy
+  (:func:`repro.experiments.store.resolve_duplicate`).
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    CollectorSink,
+    ServiceClient,
+    ServiceConnection,
+    ServiceError,
+)
+from repro.service.collector import ResultCollector
 from repro.service.daemon import DEFAULT_SOCKET, Job, SweepDaemon
 from repro.service.pool import (
     DEFAULT_BATCH_SIZE,
@@ -27,11 +44,22 @@ from repro.service.pool import (
     WorkerPool,
     batch_cells,
 )
+from repro.service.protocol import (
+    AUTH_TOKEN_ENV,
+    Endpoint,
+    LineServer,
+    ProtocolError,
+    connect_endpoint,
+    parse_endpoint,
+)
 from repro.service.shard import ShardSpec, partition, shard_cells
 
 __all__ = [
+    "CollectorSink",
     "ServiceClient",
+    "ServiceConnection",
     "ServiceError",
+    "ResultCollector",
     "DEFAULT_SOCKET",
     "Job",
     "SweepDaemon",
@@ -39,6 +67,12 @@ __all__ = [
     "CellOutcome",
     "WorkerPool",
     "batch_cells",
+    "AUTH_TOKEN_ENV",
+    "Endpoint",
+    "LineServer",
+    "ProtocolError",
+    "connect_endpoint",
+    "parse_endpoint",
     "ShardSpec",
     "partition",
     "shard_cells",

@@ -1,10 +1,22 @@
-"""Client for the sweep daemon: one request, one connection, one JSON line.
+"""Client for the sweep daemon and result collector.
 
-:class:`ServiceClient` wraps the protocol verbs as methods.  Every call
-opens a short-lived connection — the daemon is local, connections are
-cheap, and statelessness means a client never wedges the daemon by holding
-a socket open.  ``python -m repro.experiments submit`` is a thin shell
-around this class.
+:class:`ServiceClient` wraps the protocol verbs as methods over either
+transport — give it a Unix socket path or a ``host:port`` address
+(:func:`repro.service.protocol.parse_endpoint` decides which).  Every
+call opens a short-lived connection by default — connections are cheap,
+and statelessness means a client never wedges the server by holding a
+socket open.  Streaming callers (the ``--collector`` sink) use
+:meth:`ServiceClient.connection` to reuse one connection for many
+requests instead.
+
+Startup races are absorbed here: a connect refused or a missing socket
+file retries with exponential backoff for up to ``connect_retry_s``
+seconds before surfacing :class:`ServiceError` — ``serve &`` followed
+immediately by ``submit`` works without hand-written sleep loops.
+
+TCP requests carry the shared auth token (explicit ``token=`` or the
+``REPRO_SERVICE_TOKEN`` environment variable); Unix-socket requests
+need none.
 """
 
 from __future__ import annotations
@@ -14,55 +26,153 @@ import time
 from pathlib import Path
 from typing import Any
 
-from repro.service.protocol import ProtocolError, recv_message, send_message
+from repro.experiments.store import CellResult
+from repro.service.protocol import (
+    Endpoint,
+    ProtocolError,
+    ServiceError,
+    connect_endpoint,
+    parse_endpoint,
+    recv_message,
+    resolve_token,
+    send_message,
+)
 
-__all__ = ["ServiceError", "ServiceClient"]
+__all__ = ["ServiceError", "ServiceClient", "ServiceConnection", "CollectorSink"]
 
 #: Job states in which a job will make no further progress.
 TERMINAL_STATES = ("done", "failed")
 
+#: Default budget for connect retries, and the backoff ladder's first rung.
+DEFAULT_CONNECT_RETRY_S = 2.0
+_FIRST_BACKOFF_S = 0.05
 
-class ServiceError(RuntimeError):
-    """The daemon answered ``ok: false`` (or could not be reached)."""
+#: Connect errors worth retrying during a server startup race: nothing is
+#: accepting yet (stale or half-initialised socket) or the socket file has
+#: not been bound yet.  Anything else — a timeout, a reset mid-flight, an
+#: unroutable host — fails immediately.
+_RETRYABLE_CONNECT_ERRORS = (ConnectionRefusedError, FileNotFoundError)
+
+
+class ServiceConnection:
+    """One open connection issuing any number of request/response pairs."""
+
+    def __init__(self, client: "ServiceClient", sock: socket.socket) -> None:
+        self._client = client
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request on this connection and return its response."""
+        try:
+            send_message(self._sock, self._client._with_token(payload))
+            response = recv_message(self._reader)
+        except (OSError, ProtocolError) as error:  # incl. socket.timeout
+            raise ServiceError(
+                f"request to the sweep service at {self._client.endpoint} "
+                f"failed mid-flight ({error})"
+            ) from None
+        return self._client._check_response(response)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
 
 
 class ServiceClient:
-    """Talk to a :class:`~repro.service.daemon.SweepDaemon` socket."""
+    """Talk to a sweep daemon or result collector on either transport."""
 
-    def __init__(self, socket_path: str | Path, timeout: float = 30.0) -> None:
-        self.socket_path = Path(socket_path)
+    def __init__(
+        self,
+        endpoint: str | Path | Endpoint,
+        timeout: float = 30.0,
+        token: str | None = None,
+        connect_retry_s: float = DEFAULT_CONNECT_RETRY_S,
+    ) -> None:
+        self.endpoint = parse_endpoint(endpoint)
         self.timeout = timeout
+        self.token = resolve_token(token)
+        self.connect_retry_s = connect_retry_s
+
+    def _with_token(self, payload: dict[str, Any]) -> dict[str, Any]:
+        # Unix sockets are guarded by filesystem permissions; only TCP
+        # requests need (and get) the shared token.
+        if self.endpoint.is_tcp and self.token is not None:
+            return {**payload, "token": self.token}
+        return payload
+
+    def _connect(self) -> socket.socket:
+        """Connect, absorbing startup races with bounded backoff.
+
+        A daemon that was just launched may not have bound (or begun
+        accepting on) its socket yet: ``ConnectionRefusedError`` and
+        ``FileNotFoundError`` retry with exponential backoff until the
+        ``connect_retry_s`` budget runs out, then surface the usual
+        "cannot reach" :class:`ServiceError`.
+        """
+        deadline = time.monotonic() + max(0.0, self.connect_retry_s)
+        backoff = _FIRST_BACKOFF_S
+        while True:
+            try:
+                return connect_endpoint(self.endpoint, self.timeout)
+            except _RETRYABLE_CONNECT_ERRORS as error:
+                now = time.monotonic()
+                if now >= deadline:
+                    raise ServiceError(self._unreachable(error)) from None
+                time.sleep(min(backoff, deadline - now))
+                backoff *= 2
+            except OSError as error:
+                raise ServiceError(self._unreachable(error)) from None
+
+    def _unreachable(self, error: OSError) -> str:
+        hint = (
+            "is the collector/daemon listening there?"
+            if self.endpoint.is_tcp
+            else "is `python -m repro.experiments serve` running?"
+        )
+        return (
+            f"cannot reach the sweep service at {self.endpoint} "
+            f"({error}); {hint}"
+        )
+
+    def _check_response(self, response: dict[str, Any] | None) -> dict[str, Any]:
+        if response is None:
+            raise ServiceError(
+                "the service closed the connection without answering"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    def connection(self) -> ServiceConnection:
+        """Open a persistent connection for many requests (streaming)."""
+        return ServiceConnection(self, self._connect())
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Send one request and return the (``ok: true``) response."""
-        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
-            raise ServiceError("the sweep service requires Unix-domain sockets")
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
+        """Send one request on a fresh connection and return the response."""
+        sock = self._connect()
         try:
             try:
-                sock.connect(str(self.socket_path))
-            except OSError as error:
-                raise ServiceError(
-                    f"cannot reach the sweep daemon at {self.socket_path} "
-                    f"({error}); is `python -m repro.experiments serve` running?"
-                ) from None
-            try:
-                send_message(sock, payload)
+                send_message(sock, self._with_token(payload))
                 with sock.makefile("rb") as reader:
                     response = recv_message(reader)
             except (OSError, ProtocolError) as error:  # incl. socket.timeout
                 raise ServiceError(
-                    f"request to the sweep daemon at {self.socket_path} "
+                    f"request to the sweep service at {self.endpoint} "
                     f"failed mid-flight ({error})"
                 ) from None
         finally:
             sock.close()
-        if response is None:
-            raise ServiceError("the daemon closed the connection without answering")
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown daemon error"))
-        return response
+        return self._check_response(response)
 
     # ------------------------------------------------------------------
     # verbs
@@ -78,6 +188,7 @@ class ServiceClient:
         seeds: tuple[int, ...] | None = None,
         shard: str | None = None,
         out: str | None = None,
+        collector: str | None = None,
     ) -> str:
         """Enqueue a sweep job; returns the job id."""
         payload: dict[str, Any] = {"op": "submit", "suite": suite, "smoke": smoke}
@@ -89,6 +200,8 @@ class ServiceClient:
             payload["shard"] = shard
         if out is not None:
             payload["out"] = out
+        if collector is not None:
+            payload["collector"] = collector
         return self.request(payload)["job"]
 
     def status(self, job: str | None = None) -> dict[str, Any]:
@@ -100,6 +213,25 @@ class ServiceClient:
     def results(self, job: str) -> list[dict[str, Any]]:
         """The per-cell records the job has produced so far."""
         return self.request({"op": "results", "job": job})["records"]
+
+    def report(self, job: str | None = None) -> dict[str, Any]:
+        """A rendered report bundle, built server-side from the store.
+
+        Against a daemon, ``job`` names a finished job and the bundle
+        covers that job's store; against a collector, ``job`` is omitted
+        and the bundle covers the streamed store.  The response carries
+        ``render`` (the text report), ``json`` and ``csv`` (byte-for-byte
+        what ``report --json`` / ``--csv`` would write) and
+        ``all_verified``.
+        """
+        payload: dict[str, Any] = {"op": "report"}
+        if job is not None:
+            payload["job"] = job
+        return self.request(payload)
+
+    def push(self, records: list[dict[str, Any]]) -> dict[str, Any]:
+        """Stream result records to a collector; returns ingest counters."""
+        return self.request({"op": "push", "records": records})
 
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
@@ -119,3 +251,44 @@ class ServiceClient:
                     f"(state: {status['state']})"
                 )
             time.sleep(poll_interval)
+
+
+class CollectorSink:
+    """Stream :class:`CellResult` records to a collector as they complete.
+
+    Built for the runner's ``sinks`` hook: calling the sink pushes one
+    record over a persistent connection (opened lazily, reopened once per
+    push on failure — a collector restart costs one retry, not the
+    sweep).  A push that still fails raises :class:`ServiceError`; the
+    sweep's local store already holds the record, so the caller can
+    surface the error without losing work.
+    """
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+        self.pushed = 0
+        self._connection: ServiceConnection | None = None
+
+    def __call__(self, result: CellResult) -> None:
+        self.push_record(result.to_record())
+
+    def push_record(self, record: dict[str, Any]) -> None:
+        payload = {"op": "push", "records": [record]}
+        try:
+            self._ensure_connection().request(payload)
+        except ServiceError:
+            # One reconnect: the collector may have restarted between
+            # cells.  A second failure is a real outage and propagates.
+            self.close()
+            self._ensure_connection().request(payload)
+        self.pushed += 1
+
+    def _ensure_connection(self) -> ServiceConnection:
+        if self._connection is None:
+            self._connection = self.client.connection()
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None

@@ -1,0 +1,277 @@
+"""The result collector: live fan-in of sharded sweep results.
+
+``python -m repro.experiments collect --listen host:port`` runs one
+:class:`ResultCollector`: a :class:`~repro.service.protocol.LineServer`
+whose ``push`` verb appends streamed
+:class:`~repro.experiments.store.CellResult` records into one
+fingerprint-deduplicated :class:`~repro.experiments.store.ResultStore`.
+Shard workers run ``run <suite> --shard i/k --collector host:port`` and
+stream each completed cell the moment it finishes — the cross-machine
+replacement for copying shard JSONL files around and merging them after
+the fact.  The collector's store is a perfectly ordinary store:
+``report`` consumes it unchanged, and the ``report`` verb serves the
+rendered bundle straight off it.
+
+Deduplication applies :func:`repro.experiments.store.resolve_duplicate`
+— the *same* policy as file-based merging, under one lock, so the
+verified-outranks-unverified rule holds regardless of the order in which
+concurrent streams deliver a fingerprint:
+
+* first record for a fingerprint: accepted and appended;
+* a verified record never displaced by an unverified one: dropped;
+* otherwise the newcomer wins and is appended (the store's readers
+  resolve duplicates last-write-wins, so the append order *is* the
+  resolution order);
+* equal-rank records with differing semantic payloads are appended but
+  counted as conflicts — diverging code or environments produced them.
+
+Verbs
+-----
+``ping``
+    Liveness + ingest counters.
+``push``
+    ``{"op": "push", "records": [<cell record>, ...]}`` → per-batch
+    ``accepted`` / ``dropped`` / ``conflicts`` counts.
+``status``
+    Cumulative ingest counters and the store path.
+``report``
+    The rendered report bundle over everything collected so far — the
+    same bytes ``report --json`` would write from the store.
+``shutdown``
+    Stop serving (the store is already durable; nothing to flush).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.report import report_payload
+from repro.experiments.store import (
+    DEFAULT_OUT,
+    CellResult,
+    ResultStore,
+    resolve_duplicate,
+)
+from repro.service.protocol import (
+    LineServer,
+    ServiceError,
+    error_response,
+    ok_response,
+    parse_endpoint,
+    resolve_token,
+)
+
+__all__ = ["ResultCollector"]
+
+
+class ResultCollector:
+    """Collect streamed shard results into one deduplicated store."""
+
+    def __init__(
+        self,
+        out: str | Path = DEFAULT_OUT,
+        listen: str | None = None,
+        socket_path: str | Path | None = None,
+        token: str | None = None,
+    ) -> None:
+        self.store = ResultStore(out)
+        self.listen = listen
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        self.token = resolve_token(token)
+        self._latest: dict[str, dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._server: LineServer | None = None
+        # Cumulative ingest counters (served by ping/status).
+        self.accepted = 0
+        self.dropped = 0
+        self.duplicates = 0
+        self.conflicts = 0
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """The bound ``(host, port)`` of the TCP listener, if any."""
+        return self._server.tcp_address if self._server is not None else None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Seed the dedup index from the existing store and start serving.
+
+        A restarted collector picks up exactly where it stopped: the
+        store's records are replayed through the same duplicate policy,
+        so a verified record that survived the previous run still blocks
+        unverified latecomers.
+        """
+        if self._server is not None:
+            raise RuntimeError("collector already started")
+        if self.listen is None and self.socket_path is None:
+            raise ServiceError(
+                "a collector needs an endpoint: --listen host:port and/or "
+                "--socket path"
+            )
+        for record in self.store.records():
+            fingerprint = record.get("fingerprint")
+            if fingerprint is None:
+                raise ValueError(
+                    f"{self.store.path}: record without a fingerprint field"
+                )
+            previous = self._latest.get(fingerprint)
+            if previous is None or resolve_duplicate(previous, record).keep_newcomer:
+                self._latest[fingerprint] = record
+        server = LineServer(
+            self._dispatch,
+            token=self.token,
+            name="result-collector",
+            close_after=lambda request, _: request.get("op") == "shutdown",
+        )
+        try:
+            if self.socket_path is not None:
+                server.listen_unix(self.socket_path)
+            if self.listen is not None:
+                endpoint = parse_endpoint(self.listen)
+                if not endpoint.is_tcp:
+                    raise ServiceError(
+                        f"--listen takes a host:port TCP address, "
+                        f"got {self.listen!r}"
+                    )
+                server.listen_tcp(endpoint.host, endpoint.port)
+            server.start()
+        except BaseException:
+            server.close()
+            raise
+        self._server = server
+
+    def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        if self._server is None:
+            self.start()
+        try:
+            while not self._shutdown.is_set():
+                self._shutdown.wait(0.2)
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        self._shutdown.set()
+
+    def close(self) -> None:
+        self.stop()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def __enter__(self) -> "ResultCollector":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(self, record: dict[str, Any]) -> str:
+        """Apply the duplicate policy to one record; append if it wins.
+
+        Returns the record's fate: ``"accepted"`` (new fingerprint or a
+        winning newcomer), ``"dropped"`` (an unverified record losing to
+        a stored verified one) or ``"conflict"`` (accepted, but an
+        equal-rank record with a different semantic payload was already
+        present).  The decision and the append happen under one lock, so
+        two streams racing the same fingerprint serialise and the policy
+        — not arrival timing — picks the survivor.
+        """
+        fingerprint = record.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ValueError("pushed record lacks a fingerprint field")
+        result = CellResult.from_record(record)
+        with self._lock:
+            previous = self._latest.get(fingerprint)
+            if previous is not None:
+                self.duplicates += 1
+                resolution = resolve_duplicate(previous, record)
+                if not resolution.keep_newcomer:
+                    self.dropped += 1
+                    return "dropped"
+                fate = "conflict" if resolution.conflict else "accepted"
+            else:
+                fate = "accepted"
+            self._latest[fingerprint] = result.to_record()
+            self.store.append(result)
+            self.accepted += 1
+            if fate == "conflict":
+                self.conflicts += 1
+            return fate
+
+    # ------------------------------------------------------------------
+    # protocol handling
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return ok_response(role="collector", **self._counters())
+        if op == "push":
+            return self._handle_push(request)
+        if op == "status":
+            return ok_response(**self._counters())
+        if op == "report":
+            with self._lock:
+                records = list(self._latest.values())
+            if not records:
+                return error_response("the collector has no results to report on")
+            return ok_response(records=len(records), **report_payload(records))
+        if op == "shutdown":
+            self.stop()
+            return ok_response(stopping=True)
+        return error_response(
+            f"unknown op {op!r} (expected ping/push/status/report/shutdown)"
+        )
+
+    def _counters(self) -> dict[str, Any]:
+        return {
+            "records": len(self._latest),
+            "accepted": self.accepted,
+            "duplicates": self.duplicates,
+            "dropped": self.dropped,
+            "conflicts": self.conflicts,
+            "store": str(self.store.path),
+        }
+
+    def _handle_push(self, request: dict[str, Any]) -> dict[str, Any]:
+        records = request.get("records")
+        if not isinstance(records, list):
+            return error_response("push requires a 'records' list")
+        # Validate the whole batch before ingesting any of it: a bad
+        # record mid-batch must not leave a half-ingested prefix whose
+        # counts are lost and whose retry would double-ingest.
+        for index, record in enumerate(records):
+            if not isinstance(record, dict):
+                return error_response(
+                    f"push record {index} is not a JSON object (cell record)"
+                )
+            fingerprint = record.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                return error_response(
+                    f"push record {index} lacks a fingerprint field"
+                )
+            try:
+                CellResult.from_record(record)
+            except (KeyError, TypeError, ValueError) as error:
+                return error_response(
+                    f"push record {index} is not a valid cell record ({error!r})"
+                )
+        counts = {"accepted": 0, "dropped": 0, "conflicts": 0}
+        for record in records:
+            fate = self.ingest(record)
+            if fate == "dropped":
+                counts["dropped"] += 1
+            else:
+                counts["accepted"] += 1
+                if fate == "conflict":
+                    counts["conflicts"] += 1
+        return ok_response(**counts)

@@ -1,11 +1,15 @@
 """The sweep daemon: a job queue in front of one persistent worker pool.
 
 ``python -m repro.experiments serve`` runs one :class:`SweepDaemon` per
-machine.  It listens on a local Unix-domain socket, speaks the
-line-delimited JSON protocol of :mod:`repro.service.protocol`, and lets
-any number of clients feed sweep jobs into one long-lived
+machine.  It listens on a local Unix-domain socket — and, with
+``--listen host:port``, on TCP as well — speaking the line-delimited
+JSON protocol of :mod:`repro.service.protocol` through its shared
+:class:`~repro.service.protocol.LineServer`, and lets any number of
+clients feed sweep jobs into one long-lived
 :class:`~repro.service.pool.WorkerPool` — the process-startup cost of a
-sweep is paid once per daemon, not once per request.
+sweep is paid once per daemon, not once per request.  TCP requests are
+token-authenticated (``--token`` / ``REPRO_SERVICE_TOKEN``); the Unix
+socket stays guarded by filesystem permissions.
 
 Verbs
 -----
@@ -13,14 +17,20 @@ Verbs
     Liveness + pool statistics.
 ``submit``
     Enqueue a sweep job: ``{"op": "submit", "suite": "paper-claims",
-    "smoke": true, "shard": "0/2", "out": "experiments/results"}``.
-    Validation (suite name, shard spec) happens here, so a bad request
-    fails fast at the client instead of inside the queue.
+    "smoke": true, "shard": "0/2", "out": "experiments/results",
+    "collector": "host:port"}``.  Validation (suite name, shard spec,
+    collector endpoint) happens here, so a bad request fails fast at the
+    client instead of inside the queue.  With a ``collector``, every
+    stored record is also streamed to that result collector live.
 ``status``
     One job's state (``{"op": "status", "job": "job-1"}``) or, without a
     job id, every job plus pool traffic counters.
 ``results``
     The per-cell result records a job has produced so far.
+``report``
+    A rendered report bundle (scaling tables + β fits) for a *finished*
+    job, built server-side from the job's store — clients get the exact
+    bytes ``report --json`` would write, without touching the store.
 ``shutdown``
     Stop accepting work, finish the jobs already queued, exit.
 
@@ -33,25 +43,27 @@ finishes, so daemon jobs are resumable and mergeable exactly like CLI
 
 from __future__ import annotations
 
-import os
 import queue as queue_module
-import socket
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.experiments.report import report_payload
 from repro.experiments.spec import get_suite
 from repro.experiments.store import DEFAULT_OUT, ResultStore
-from repro.service.client import ServiceError
+from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.service.protocol import (
-    ProtocolError,
+    MAX_SOCKET_PATH_BYTES,
+    LineServer,
+    check_unix_socket_path,
     error_response,
     ok_response,
-    recv_message,
-    send_message,
+    parse_endpoint,
+    resolve_token,
+    unix_socket_is_live,
 )
 from repro.service.shard import ShardSpec
 
@@ -59,14 +71,6 @@ __all__ = ["DEFAULT_SOCKET", "MAX_SOCKET_PATH_BYTES", "Job", "SweepDaemon"]
 
 #: Default rendezvous point, next to the default result store.
 DEFAULT_SOCKET = "experiments/service.sock"
-
-#: Portable ceiling on an ``AF_UNIX`` socket path, in bytes.  ``sun_path``
-#: is a fixed-size buffer: 108 bytes on Linux, 104 on the BSDs / macOS,
-#: both including the trailing NUL — 103 payload bytes fit everywhere.
-#: ``bind`` past the limit fails with an opaque ``OSError``, so the daemon
-#: checks up front and names the offending path instead (deep CI tmpdirs
-#: hit this routinely).
-MAX_SOCKET_PATH_BYTES = 103
 
 #: Per-job cap on cell records kept in memory for the ``results`` verb.
 #: The on-disk ResultStore is the durable record; the in-memory copy is a
@@ -91,6 +95,7 @@ class Job:
     seeds: tuple[int, ...] | None = None
     shard: str | None = None
     out: str = DEFAULT_OUT
+    collector: str | None = None
     state: str = "queued"  # queued | running | done | failed
     submitted_s: float = field(default_factory=time.time)
     started_s: float | None = None
@@ -101,6 +106,7 @@ class Job:
     unverified: int = 0
     failures: list[dict[str, Any]] = field(default_factory=list)
     error: str | None = None
+    sink_error: str | None = None
     results: list[dict[str, Any]] = field(default_factory=list)
     results_truncated: bool = False
 
@@ -114,6 +120,7 @@ class Job:
             "seeds": list(self.seeds) if self.seeds else None,
             "shard": self.shard,
             "out": self.out,
+            "collector": self.collector,
             "state": self.state,
             "total_cells": self.total_cells,
             "skipped": self.skipped,
@@ -121,86 +128,93 @@ class Job:
             "unverified": self.unverified,
             "failures": self.failures,
             "error": self.error,
+            "sink_error": self.sink_error,
         }
 
 
 class SweepDaemon:
-    """Serve sweep jobs over a local socket from one warm worker pool."""
+    """Serve sweep jobs over local and/or TCP sockets from one warm pool."""
 
     def __init__(
         self,
         socket_path: str | Path = DEFAULT_SOCKET,
         workers: int | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        listen: str | None = None,
+        token: str | None = None,
     ) -> None:
         self.socket_path = Path(socket_path)
+        self.listen = listen
+        self.token = resolve_token(token)
         self.pool = WorkerPool(workers=workers, batch_size=batch_size)
         self._jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._job_queue: queue_module.Queue[str] = queue_module.Queue()
         self._job_counter = 0
         self._shutdown = threading.Event()
-        self._accept_stop = threading.Event()
-        self._bound_socket = False
-        self._server: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
+        self._server: LineServer | None = None
         self._runner_thread: threading.Thread | None = None
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """The bound ``(host, port)`` of the TCP listener, if any."""
+        return self._server.tcp_address if self._server is not None else None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Bind the socket and start the accept and job-runner threads."""
+        """Bind the listener(s) and start the accept and job-runner threads."""
         if self._server is not None:
             raise RuntimeError("daemon already started")
-        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
-            raise RuntimeError("the sweep daemon requires Unix-domain sockets")
-        path_bytes = len(os.fsencode(str(self.socket_path)))
-        if path_bytes > MAX_SOCKET_PATH_BYTES:
-            raise ServiceError(
-                f"socket path is {path_bytes} bytes, over the "
-                f"{MAX_SOCKET_PATH_BYTES}-byte AF_UNIX limit: "
-                f"{self.socket_path} — pass a shorter --socket path "
-                f"(e.g. under /tmp)"
-            )
-        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
-        if self.socket_path.exists():
-            # A previous daemon that crashed leaves a stale socket file; a
-            # *live* daemon would still answer, so probe before stealing.
-            if self._socket_is_live():
-                raise RuntimeError(f"another daemon is serving {self.socket_path}")
-            self.socket_path.unlink()
+        # Fail fast on every endpoint problem *before* acquiring any
+        # resource: the pool must never fork for a daemon that cannot
+        # come up (over-long socket path, TCP without a token, busy
+        # address).  listen_unix repeats these checks, but binding can
+        # only happen *after* the fork — a listener bound first would be
+        # inherited by every worker and keep the socket alive past the
+        # daemon's death — so the pre-checks here are what keeps a
+        # doomed start from forking at all.
+        check_unix_socket_path(self.socket_path)
+        tcp_endpoint = None
+        if self.listen is not None:
+            tcp_endpoint = parse_endpoint(self.listen)
+            if not tcp_endpoint.is_tcp:
+                raise ServiceError(
+                    f"--listen takes a host:port TCP address, got {self.listen!r}"
+                )
+            if not self.token:
+                raise ServiceError(
+                    "refusing to listen on TCP without an auth token — pass "
+                    "--token or set REPRO_SERVICE_TOKEN"
+                )
+        if self.socket_path.exists() and unix_socket_is_live(self.socket_path):
+            raise RuntimeError(f"another daemon is serving {self.socket_path}")
         # Fork the worker processes *now*, while this is still the only
         # thread: forking lazily from the runner thread with accept /
         # connection threads live risks a child inheriting a lock some
         # other thread held at fork time.
         self.pool.start()
-        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        server.bind(str(self.socket_path))
-        self._bound_socket = True
-        server.listen(16)
-        server.settimeout(0.2)
-        self._server = server
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="sweep-daemon-accept", daemon=True
+        server = LineServer(
+            self._dispatch,
+            token=self.token,
+            name="sweep-daemon",
+            close_after=lambda request, _: request.get("op") == "shutdown",
         )
+        try:
+            server.listen_unix(self.socket_path)
+            if tcp_endpoint is not None:
+                server.listen_tcp(tcp_endpoint.host, tcp_endpoint.port)
+            server.start()
+        except BaseException:
+            server.close()
+            self.pool.shutdown()
+            raise
+        self._server = server
         self._runner_thread = threading.Thread(
             target=self._runner_loop, name="sweep-daemon-runner", daemon=True
         )
-        self._accept_thread.start()
         self._runner_thread.start()
-
-    def _socket_is_live(self) -> bool:
-        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        probe.settimeout(0.5)
-        try:
-            probe.connect(str(self.socket_path))
-        except OSError:
-            return False
-        else:
-            return True
-        finally:
-            probe.close()
 
     def serve_forever(self) -> None:
         """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
@@ -227,10 +241,10 @@ class SweepDaemon:
     def close(self) -> None:
         """Stop, drain the queued jobs, and release every resource.
 
-        The runner thread is joined *before* the accept loop is stopped:
-        clients keep polling ``status`` / ``results`` while the queued
-        jobs drain (only new ``submit`` requests are rejected once the
-        shutdown flag is up).
+        The runner thread is joined *before* the accept loops are
+        stopped: clients keep polling ``status`` / ``results`` while the
+        queued jobs drain (only new ``submit`` requests are rejected once
+        the shutdown flag is up).
         """
         self.stop()
         if self._runner_thread is not None:
@@ -240,19 +254,12 @@ class SweepDaemon:
             # ~1s and fails the job rather than blocking.
             self._runner_thread.join()
             self._runner_thread = None
-        self._accept_stop.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=10)
-            self._accept_thread = None
         if self._server is not None:
+            # The server unlinks only a socket *it* bound: a close()
+            # after a failed start ("another daemon is serving") has no
+            # server and must not sever the live daemon owning the file.
             self._server.close()
             self._server = None
-        # Unlink only a socket *this* daemon bound: a close() after a
-        # failed start() ("another daemon is serving") must not sever the
-        # live daemon that owns the file.
-        if self._bound_socket and self.socket_path.exists():
-            self.socket_path.unlink()
-        self._bound_socket = False
         self.pool.shutdown()
 
     def __enter__(self) -> "SweepDaemon":
@@ -306,10 +313,15 @@ class SweepDaemon:
                 "error": error,
             })
 
+        sink = None
         try:
             suite = get_suite(job.suite)
             shard = ShardSpec.parse(job.shard) if job.shard else None
-            self.pool.run_suite(
+            sinks: tuple = ()
+            if job.collector:
+                sink = CollectorSink(ServiceClient(job.collector, token=self.token))
+                sinks = (sink,)
+            report = self.pool.run_suite(
                 suite,
                 ResultStore(job.out),
                 smoke=job.smoke,
@@ -319,58 +331,22 @@ class SweepDaemon:
                 progress=progress,
                 on_plan=on_plan,
                 on_failure=on_failure,
+                sinks=sinks,
             )
+            job.sink_error = report.sink_error
         except Exception as error:  # noqa: BLE001 - surfaced via status verb
             job.state = "failed"
             job.error = repr(error)
         else:
             job.state = "done"
         finally:
+            if sink is not None:
+                sink.close()
             job.finished_s = time.time()
 
     # ------------------------------------------------------------------
-    # protocol handling (accept thread + one thread per connection)
+    # protocol handling (dispatched from LineServer connection threads)
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        assert self._server is not None
-        while not self._accept_stop.is_set():
-            try:
-                connection, _ = self._server.accept()
-            except socket.timeout:
-                continue
-            except OSError:  # pragma: no cover - socket closed under us
-                break
-            threading.Thread(
-                target=self._serve_connection,
-                args=(connection,),
-                name="sweep-daemon-conn",
-                daemon=True,
-            ).start()
-
-    def _serve_connection(self, connection: socket.socket) -> None:
-        with connection, connection.makefile("rb") as reader:
-            while True:
-                try:
-                    request = recv_message(reader)
-                except ProtocolError as error:
-                    try:
-                        send_message(connection, error_response(str(error)))
-                    except OSError:
-                        pass
-                    return
-                if request is None:
-                    return
-                try:
-                    response = self._dispatch(request)
-                except Exception as error:  # noqa: BLE001 - keep serving
-                    response = error_response(repr(error))
-                try:
-                    send_message(connection, response)
-                except OSError:
-                    return
-                if request.get("op") == "shutdown":
-                    return
-
     def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request.get("op")
         if op == "ping":
@@ -381,11 +357,14 @@ class SweepDaemon:
             return self._handle_status(request)
         if op == "results":
             return self._handle_results(request)
+        if op == "report":
+            return self._handle_report(request)
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
-            f"unknown op {op!r} (expected ping/submit/status/results/shutdown)"
+            f"unknown op {op!r} "
+            f"(expected ping/submit/status/results/report/shutdown)"
         )
 
     def _pool_stats(self) -> dict[str, Any]:
@@ -414,6 +393,12 @@ class SweepDaemon:
                 ShardSpec.parse(str(shard))
             except ValueError as error:
                 return error_response(str(error))
+        collector = request.get("collector")
+        if collector is not None:
+            try:
+                parse_endpoint(str(collector))
+            except ValueError as error:
+                return error_response(str(error))
         sizes = request.get("sizes")
         seeds = request.get("seeds")
         with self._jobs_lock:
@@ -432,6 +417,7 @@ class SweepDaemon:
                 seeds=tuple(int(s) for s in seeds) if seeds else None,
                 shard=str(shard) if shard is not None else None,
                 out=str(request.get("out") or DEFAULT_OUT),
+                collector=str(collector) if collector is not None else None,
             )
             self._jobs[job.id] = job
             self._job_queue.put(job.id)
@@ -476,3 +462,26 @@ class SweepDaemon:
             truncated=job.results_truncated,
             store=str(ResultStore(job.out).path),
         )
+
+    def _handle_report(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Build the report bundle for a finished job, server-side.
+
+        The bundle is built from the job's on-disk store — the same bytes
+        ``report --out <job.out> --json`` would produce — so clients on
+        other machines never need the store file itself.
+        """
+        if "job" not in request:
+            return error_response(
+                "report requires a 'job' field naming a finished job"
+            )
+        job = self._get_job(request)
+        if job is None:
+            return error_response(f"unknown job {request.get('job')!r}")
+        if job.state not in ("done", "failed"):
+            return error_response(
+                f"{job.id} is still {job.state}; report needs a finished job"
+            )
+        records = ResultStore(job.out).records()
+        if not records:
+            return error_response(f"{job.id} stored no results to report on")
+        return ok_response(job=job.id, state=job.state, **report_payload(records))

@@ -292,6 +292,7 @@ class WorkerPool:
         progress: Callable[[CellResult], None] | None = None,
         on_plan: Callable[[int, int], None] | None = None,
         on_failure: Callable[[Cell, str], None] | None = None,
+        sinks: Sequence[Callable[[CellResult], None]] = (),
     ) -> SweepReport:
         """Run a suite's pending cells through the pool.
 
@@ -303,6 +304,10 @@ class WorkerPool:
         status verb feeds off them): ``on_plan(total_cells, skipped)``
         fires once before the first cell runs, ``progress(result)`` per
         stored cell, ``on_failure(cell, error)`` per failed cell.
+        ``sinks`` stream each stored result onward (e.g. to a TCP
+        collector) with the runner's fail-soft semantics: a sink failure
+        is recorded once in ``SweepReport.sink_error`` and the sink
+        disabled, never the sweep aborted.
         """
         start = time.perf_counter()
         planner = SweepRunner(
@@ -318,6 +323,7 @@ class WorkerPool:
             executed=0,
             unverified=0,
         )
+        live_sinks = list(sinks)
         for outcome in self.submit_sweep(suite.name, pending):
             if outcome.error is not None:
                 report.failures.append(CellFailure(outcome.cell, outcome.error))
@@ -328,6 +334,13 @@ class WorkerPool:
             report.executed += 1
             if not outcome.result.verified:
                 report.unverified += 1
+            if live_sinks:
+                try:
+                    for sink in live_sinks:
+                        sink(outcome.result)
+                except Exception as error:  # noqa: BLE001 - surfaced in report
+                    report.sink_error = repr(error)
+                    live_sinks.clear()
             if progress is not None:
                 progress(outcome.result)
         report.wall_clock_s = time.perf_counter() - start

@@ -1,40 +1,93 @@
 """The wire protocol of the sweep service: line-delimited JSON over a
-local stream socket.
+stream socket — Unix-domain or TCP.
 
 Each request and each response is exactly one JSON object on one
 ``\\n``-terminated line, so the protocol is trivially debuggable
-(``socat - UNIX-CONNECT:experiments/service.sock`` and type) and needs no
-framing beyond ``readline``.  Requests carry an ``op`` field naming the
-verb (``ping`` / ``submit`` / ``status`` / ``results`` / ``shutdown``);
+(``socat - UNIX-CONNECT:experiments/service.sock`` — or
+``socat - TCP:host:port`` — and type) and needs no framing beyond
+``readline``.  Requests carry an ``op`` field naming the verb;
 responses always carry ``ok`` (bool) and, when ``ok`` is false, an
 ``error`` string.
 
-One connection may issue any number of requests; the daemon answers each
-line with one line and closes when the client half-closes.
+One connection may issue any number of requests; the server answers each
+line with one line and closes when the client half-closes.  The framing
+contract is transport-neutral — the conformance suite
+(``tests/test_protocol_conformance.py``) pins it over both socket
+families.
+
+Transports and endpoints
+------------------------
+:func:`parse_endpoint` turns an address string into an :class:`Endpoint`:
+``host:port`` (numeric port) means TCP, anything else is a Unix-socket
+path.  :class:`LineServer` is the shared listener abstraction — it owns
+the accept loop, the per-connection threads and the per-request token
+check, and dispatches each decoded request to a handler callable.  The
+sweep daemon and the result collector are both thin verb tables on top
+of it.
+
+Authentication
+--------------
+TCP crosses machine boundaries, so TCP listeners *require* a shared
+token (``--token`` or the :data:`AUTH_TOKEN_ENV` environment variable):
+every request on a TCP connection must carry a matching ``"token"``
+field or it is refused and the connection closed.  Unix-socket
+connections stay guarded by filesystem permissions and need no token.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import socket
-from typing import Any
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
 
 __all__ = [
+    "AUTH_TOKEN_ENV",
     "MAX_LINE_BYTES",
+    "MAX_SOCKET_PATH_BYTES",
+    "Endpoint",
+    "LineServer",
     "ProtocolError",
-    "send_message",
-    "recv_message",
+    "ServiceError",
+    "check_unix_socket_path",
+    "connect_endpoint",
     "error_response",
     "ok_response",
+    "parse_endpoint",
+    "recv_message",
+    "resolve_token",
+    "send_message",
+    "unix_socket_is_live",
 ]
 
 #: Upper bound on one protocol line.  Results of a large job dominate; a
 #: 64 MiB line is ~100k cell records, far beyond a sane single response.
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
+#: Environment variable holding the shared TCP auth token; ``--token``
+#: flags override it.
+AUTH_TOKEN_ENV = "REPRO_SERVICE_TOKEN"
+
+#: Portable ceiling on an ``AF_UNIX`` socket path, in bytes.  ``sun_path``
+#: is a fixed-size buffer: 108 bytes on Linux, 104 on the BSDs / macOS,
+#: both including the trailing NUL — 103 payload bytes fit everywhere.
+#: ``bind`` past the limit fails with an opaque ``OSError``, so servers
+#: check up front and name the offending path instead (deep CI tmpdirs
+#: hit this routinely).
+MAX_SOCKET_PATH_BYTES = 103
+
 
 class ProtocolError(RuntimeError):
     """A malformed or oversized protocol line."""
+
+
+class ServiceError(RuntimeError):
+    """A service-level failure: the peer answered ``ok: false``, could not
+    be reached, or a server could not come up on its endpoint."""
 
 
 def send_message(sock: socket.socket, payload: dict[str, Any]) -> None:
@@ -56,7 +109,9 @@ def recv_message(reader) -> dict[str, Any] | None:
         raise ProtocolError(f"protocol line exceeds {MAX_LINE_BYTES} bytes")
     try:
         payload = json.loads(line)
-    except json.JSONDecodeError as error:
+    except ValueError as error:
+        # JSONDecodeError for syntax, UnicodeDecodeError for byte garbage
+        # that is not even UTF-8 — both are ValueErrors, both malformed.
         raise ProtocolError(f"malformed protocol line: {error}") from None
     if not isinstance(payload, dict):
         raise ProtocolError("protocol messages must be JSON objects")
@@ -69,3 +124,300 @@ def ok_response(**fields: Any) -> dict[str, Any]:
 
 def error_response(message: str) -> dict[str, Any]:
     return {"ok": False, "error": message}
+
+
+def resolve_token(token: str | None) -> str | None:
+    """An explicit token, else the :data:`AUTH_TOKEN_ENV` variable, else None."""
+    if token:
+        return token
+    return os.environ.get(AUTH_TOKEN_ENV) or None
+
+
+# ----------------------------------------------------------------------
+# endpoints: one address grammar for both transports
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A parsed service address: a Unix-socket path or a TCP host/port."""
+
+    kind: str  # "unix" | "tcp"
+    path: str | None = None
+    host: str | None = None
+    port: int | None = None
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.kind == "tcp"
+
+    def __str__(self) -> str:
+        if self.is_tcp:
+            host = f"[{self.host}]" if ":" in (self.host or "") else self.host
+            return f"{host}:{self.port}"
+        return str(self.path)
+
+
+def parse_endpoint(text: str | Path | Endpoint) -> Endpoint:
+    """Parse ``host:port`` as TCP, anything else as a Unix-socket path.
+
+    The rule is syntactic and unambiguous: an address whose final
+    ``:``-separated field is a valid port number (and that contains no
+    path separator) is TCP — ``127.0.0.1:7919``, ``[::1]:7919``,
+    ``sweeps.example.org:7919``.  Everything else — ``/tmp/svc.sock``,
+    ``experiments/service.sock``, even ``weird:name`` with a non-numeric
+    tail — is a filesystem path.
+    """
+    if isinstance(text, Endpoint):
+        return text
+    text = str(text)
+    if not text:
+        raise ValueError("empty service endpoint")
+    if "/" not in text and ":" in text:
+        host, _, port_text = text.rpartition(":")
+        if host.startswith("[") and host.endswith("]"):
+            host = host[1:-1]
+        if host and port_text.isdigit():
+            port = int(port_text)
+            if port > 65535:
+                raise ValueError(f"TCP port out of range in endpoint {text!r}")
+            return Endpoint(kind="tcp", host=host, port=port)
+    return Endpoint(kind="unix", path=text)
+
+
+def connect_endpoint(endpoint: Endpoint, timeout: float) -> socket.socket:
+    """Open a connected stream socket to ``endpoint`` (either transport)."""
+    if endpoint.is_tcp:
+        return socket.create_connection((endpoint.host, endpoint.port), timeout)
+    if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+        raise ServiceError("Unix-socket endpoints require a POSIX platform")
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(str(endpoint.path))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def check_unix_socket_path(path: str | Path, flag: str = "--socket") -> None:
+    """Refuse an over-long ``AF_UNIX`` path with a clear, named error."""
+    path_bytes = len(os.fsencode(str(path)))
+    if path_bytes > MAX_SOCKET_PATH_BYTES:
+        raise ServiceError(
+            f"socket path is {path_bytes} bytes, over the "
+            f"{MAX_SOCKET_PATH_BYTES}-byte AF_UNIX limit: "
+            f"{path} — pass a shorter {flag} path (e.g. under /tmp)"
+        )
+
+
+def unix_socket_is_live(path: str | Path) -> bool:
+    """Whether something is accepting connections on the socket file."""
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    try:
+        probe.connect(str(path))
+    except OSError:
+        return False
+    else:
+        return True
+    finally:
+        probe.close()
+
+
+# ----------------------------------------------------------------------
+# the shared listener: accept loop + per-connection request/response
+# ----------------------------------------------------------------------
+
+class LineServer:
+    """Transport-neutral request/response server over the line protocol.
+
+    One :class:`LineServer` owns any number of listeners (Unix and/or
+    TCP), an accept thread per listener, and one thread per connection.
+    Every decoded request is passed to ``handler(request)`` which returns
+    the response dict; handler exceptions become ``ok: false`` responses
+    and the connection keeps serving.  ``close_after(request, response)``
+    (when given) lets the owner close a connection after a terminal verb
+    such as ``shutdown``.
+
+    Requests on TCP connections must carry a ``"token"`` field matching
+    the server token (compared constant-time); the field is stripped
+    before the handler sees the request.  Unix connections skip the check
+    — the socket file's permissions are the boundary.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[dict[str, Any]], dict[str, Any]],
+        token: str | None = None,
+        name: str = "line-server",
+        close_after: Callable[[dict[str, Any], dict[str, Any]], bool] | None = None,
+    ) -> None:
+        self.handler = handler
+        self.token = token
+        self.name = name
+        self.close_after = close_after
+        self.unix_path: Path | None = None
+        self.tcp_address: tuple[str, int] | None = None
+        self._listeners: list[tuple[socket.socket, bool]] = []
+        self._accept_threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+
+    # -- listeners ------------------------------------------------------
+    def listen_unix(self, path: str | Path, flag: str = "--socket") -> Path:
+        """Bind a Unix listener, reclaiming a stale (dead) socket file.
+
+        Raises :class:`ServiceError` for an over-long path and
+        ``RuntimeError`` when a *live* server already owns the file.
+        """
+        if self._started:
+            raise RuntimeError("cannot add listeners to a started server")
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError("Unix-socket listeners require a POSIX platform")
+        path = Path(path)
+        check_unix_socket_path(path, flag=flag)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            # A previous server that crashed leaves a stale socket file; a
+            # *live* one would still answer, so probe before stealing.
+            if unix_socket_is_live(path):
+                raise RuntimeError(f"another daemon is serving {path}")
+            path.unlink()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(str(path))
+        except BaseException:
+            listener.close()
+            raise
+        self._add_listener(listener, requires_token=False)
+        self.unix_path = path
+        return path
+
+    def listen_tcp(self, host: str, port: int) -> tuple[str, int]:
+        """Bind a TCP listener; requires a token.  Returns the bound
+        ``(host, port)`` — with ``port=0`` the kernel picks a free one."""
+        if self._started:
+            raise RuntimeError("cannot add listeners to a started server")
+        if not self.token:
+            raise ServiceError(
+                "refusing to listen on TCP without an auth token — pass "
+                f"--token or set {AUTH_TOKEN_ENV}"
+            )
+        listener = socket.socket(socket.AF_INET6 if ":" in host else socket.AF_INET)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, port))
+        except OSError as error:
+            listener.close()
+            raise ServiceError(f"cannot listen on {host}:{port} ({error})") from None
+        self._add_listener(listener, requires_token=True)
+        bound = listener.getsockname()
+        self.tcp_address = (bound[0], bound[1])
+        return self.tcp_address
+
+    def _add_listener(self, listener: socket.socket, requires_token: bool) -> None:
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listeners.append((listener, requires_token))
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        if not self._listeners:
+            raise RuntimeError("no listeners configured")
+        self._started = True
+        for index, (listener, requires_token) in enumerate(self._listeners):
+            thread = threading.Thread(
+                target=self._accept_loop,
+                args=(listener, requires_token),
+                name=f"{self.name}-accept-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._accept_threads.append(thread)
+
+    def close(self) -> None:
+        """Stop accepting, join the accept threads, release the sockets.
+
+        In-flight connection threads are daemonic and finish (or die with
+        the process) on their own; only the listeners are torn down here.
+        """
+        self._stop.set()
+        for thread in self._accept_threads:
+            thread.join(timeout=10)
+        self._accept_threads.clear()
+        for listener, _ in self._listeners:
+            listener.close()
+        self._listeners.clear()
+        if self.unix_path is not None and self.unix_path.exists():
+            self.unix_path.unlink()
+        self.unix_path = None
+        self._started = False
+
+    # -- serving --------------------------------------------------------
+    def _accept_loop(self, listener: socket.socket, requires_token: bool) -> None:
+        while not self._stop.is_set():
+            try:
+                connection, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - listener closed under us
+                break
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection, requires_token),
+                name=f"{self.name}-conn",
+                daemon=True,
+            ).start()
+
+    def _authenticate(self, request: dict[str, Any]) -> bool:
+        presented = request.pop("token", None)
+        # Compare as bytes: compare_digest on str raises for non-ASCII,
+        # which would let a perfectly matched non-ASCII token kill the
+        # connection thread instead of authenticating.
+        return (
+            isinstance(presented, str)
+            and self.token is not None
+            and hmac.compare_digest(
+                presented.encode("utf-8"), self.token.encode("utf-8")
+            )
+        )
+
+    def _serve_connection(
+        self, connection: socket.socket, requires_token: bool
+    ) -> None:
+        with connection, connection.makefile("rb") as reader:
+            while True:
+                try:
+                    request = recv_message(reader)
+                except ProtocolError as error:
+                    try:
+                        send_message(connection, error_response(str(error)))
+                    except OSError:
+                        pass
+                    return
+                if request is None:
+                    return
+                if requires_token and not self._authenticate(request):
+                    try:
+                        send_message(connection, error_response(
+                            "authentication failed: TCP requests must carry "
+                            f"the shared token (set {AUTH_TOKEN_ENV} or pass "
+                            "token=... to the client)"
+                        ))
+                    except OSError:
+                        pass
+                    return
+                request.pop("token", None)
+                try:
+                    response = self.handler(request)
+                except Exception as error:  # noqa: BLE001 - keep serving
+                    response = error_response(repr(error))
+                try:
+                    send_message(connection, response)
+                except OSError:
+                    return
+                if self.close_after is not None and self.close_after(request, response):
+                    return

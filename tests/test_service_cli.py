@@ -148,3 +148,74 @@ class TestServeSubmitCli:
             "--socket", str(tmp_path / "nope.sock"),
         ]) == 2
         assert "cannot reach" in capsys.readouterr().err
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="requires Unix-domain sockets"
+)
+class TestCollectCli:
+    def test_collect_run_report_connect_roundtrip(self, tmp_path, capsys, monkeypatch):
+        """The CLI face of the streamed transport: `collect --listen`,
+        `run --collector`, `report --connect` — token via the env var."""
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "cli-token")
+        from repro.service import ResultCollector
+
+        collector = ResultCollector(
+            out=tmp_path / "central", listen="127.0.0.1:0"
+        )
+        collector.start()
+        host, port = collector.tcp_address
+        try:
+            assert main([
+                "run", "paper-claims", "--smoke", "--jobs", "1", "--quiet",
+                "--out", str(tmp_path / "local"),
+                "--collector", f"{host}:{port}",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "streamed" in out and f"{host}:{port}" in out
+            assert main(["report", "--connect", f"{host}:{port}"]) == 0
+            assert "Theorem 3 shape" in capsys.readouterr().out
+        finally:
+            collector.close()
+
+    def test_collect_requires_an_endpoint(self, capsys):
+        assert main(["collect", "--out", "nowhere"]) == 2
+        assert "needs an endpoint" in capsys.readouterr().err
+
+    def test_collect_listen_without_token_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        assert main(["collect", "--listen", "127.0.0.1:0"]) == 2
+        assert "REPRO_SERVICE_TOKEN" in capsys.readouterr().err
+
+    def test_serve_listen_without_token_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        assert main([
+            "serve", "--socket", str(tmp_path / "s.sock"),
+            "--listen", "127.0.0.1:0",
+        ]) == 2
+        assert "auth token" in capsys.readouterr().err
+
+    def test_report_job_without_connect_exits_2(self, capsys):
+        assert main(["report", "--job", "job-1"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_report_suite_with_connect_exits_2(self, capsys):
+        assert main([
+            "report", "--connect", "127.0.0.1:7919", "--suite", "charged",
+        ]) == 2
+        assert "--suite" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "paper-claims", "--smoke", "--collector", "127.0.0.1:99999"],
+        ["report", "--connect", "127.0.0.1:99999"],
+        ["submit", "paper-claims", "--socket", "127.0.0.1:99999"],
+    ])
+    def test_bad_endpoint_exits_2_not_traceback(self, argv, capsys):
+        assert main(argv) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_report_connect_unreachable_exits_2(self, tmp_path, capsys):
+        assert main([
+            "report", "--connect", str(tmp_path / "ghost.sock"),
+        ]) == 2
+        assert "cannot reach" in capsys.readouterr().err

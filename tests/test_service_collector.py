@@ -1,0 +1,579 @@
+"""Cross-machine transport tests: the TCP result collector, streamed
+shard→collector equivalence with the file-based merge path, concurrent
+fingerprint dedup, the daemon-side ``report`` verb, the daemon's TCP
+listener, and the client's connect-retry backoff."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments import CellResult, ResultStore, get_suite
+from repro.experiments.cli import main
+from repro.experiments.store import resolve_duplicate
+from repro.service import (
+    CollectorSink,
+    LineServer,
+    ResultCollector,
+    ServiceClient,
+    ServiceError,
+    SweepDaemon,
+)
+from repro.service.protocol import ok_response
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="requires Unix-domain sockets"
+)
+
+TOKEN = "collector-suite-token"
+
+
+def make_result(
+    seed: int, rounds: float = 7.0, verified: bool = True, fingerprint: str | None = None
+) -> CellResult:
+    return CellResult(
+        fingerprint=fingerprint or f"{seed:016x}",
+        suite="s",
+        scenario="scenario",
+        generator="random-tree",
+        algorithm="baseline-mis",
+        n=10,
+        seed=seed,
+        rounds=rounds,
+        messages=100,
+        wall_clock_s=0.5,
+        verified=verified,
+    )
+
+
+@pytest.fixture()
+def collector(tmp_path):
+    collector = ResultCollector(
+        out=tmp_path / "central", listen="127.0.0.1:0", token=TOKEN
+    )
+    collector.start()
+    yield collector
+    collector.close()
+
+
+def collector_client(collector, **kwargs):
+    host, port = collector.tcp_address
+    return ServiceClient(f"{host}:{port}", token=TOKEN, **kwargs)
+
+
+class TestCollectorVerbs:
+    def test_ping_reports_role_and_counters(self, collector):
+        response = collector_client(collector).ping()
+        assert response["role"] == "collector"
+        assert response["records"] == 0
+        assert response["store"] == str(collector.store.path)
+
+    def test_push_appends_to_a_normal_store(self, collector, tmp_path):
+        client = collector_client(collector)
+        response = client.push([make_result(seed).to_record() for seed in (1, 2)])
+        assert response["accepted"] == 2 and response["dropped"] == 0
+        records = ResultStore(tmp_path / "central").records()
+        assert {record["seed"] for record in records} == {1, 2}
+
+    def test_push_requires_records_list(self, collector):
+        with pytest.raises(ServiceError, match="records"):
+            collector_client(collector).request({"op": "push"})
+        with pytest.raises(ServiceError, match="JSON object"):
+            collector_client(collector).push(["not-a-record"])
+
+    def test_push_without_fingerprint_rejected(self, collector):
+        with pytest.raises(ServiceError, match="fingerprint"):
+            collector_client(collector).push([{"seed": 1}])
+
+    def test_bad_record_mid_batch_ingests_nothing(self, collector, tmp_path):
+        """A batch is validated whole before any record is ingested: a bad
+        record must not leave a half-ingested prefix whose counts are lost
+        and whose retry would double-ingest."""
+        client = collector_client(collector)
+        batch = [make_result(1).to_record(), {"fingerprint": "ab" * 8}]
+        with pytest.raises(ServiceError, match="record 1"):
+            client.push(batch)
+        assert collector.accepted == 0
+        assert ResultStore(tmp_path / "central").records() == []
+        # the repaired batch then ingests cleanly, exactly once
+        assert client.push([make_result(1).to_record()])["accepted"] == 1
+
+    def test_report_on_empty_collector_is_an_error(self, collector):
+        with pytest.raises(ServiceError, match="no results"):
+            collector_client(collector).report()
+
+    def test_tcp_push_without_token_refused(self, collector):
+        client = collector_client(collector)
+        client.token = None
+        with pytest.raises(ServiceError, match="authentication failed"):
+            client.ping()
+
+    def test_shutdown_verb_stops_collector(self, tmp_path):
+        collector = ResultCollector(
+            out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN
+        )
+        collector.start()
+        stopped = threading.Thread(target=collector.serve_forever, daemon=True)
+        stopped.start()
+        collector_client(collector).shutdown()
+        stopped.join(timeout=10)
+        assert not stopped.is_alive()
+
+    def test_collector_requires_an_endpoint(self, tmp_path):
+        with pytest.raises(ServiceError, match="needs an endpoint"):
+            ResultCollector(out=tmp_path / "c").start()
+
+    def test_collector_rejects_non_tcp_listen(self, tmp_path):
+        collector = ResultCollector(
+            out=tmp_path / "c", listen="/tmp/not-a-port", token=TOKEN
+        )
+        with pytest.raises(ServiceError, match="host:port"):
+            collector.start()
+
+    def test_unix_socket_collector_works_without_token(self, tmp_path):
+        collector = ResultCollector(
+            out=tmp_path / "c", socket_path=tmp_path / "collect.sock"
+        )
+        collector.start()
+        try:
+            client = ServiceClient(tmp_path / "collect.sock")
+            assert client.push([make_result(1).to_record()])["accepted"] == 1
+        finally:
+            collector.close()
+
+
+class TestDedupPolicy:
+    """The collector applies the exact merge policy, ingest by ingest."""
+
+    def test_verified_wins_regardless_of_arrival_order(self, tmp_path):
+        for order in ("unverified-first", "verified-first"):
+            collector = ResultCollector(
+                out=tmp_path / order, listen="127.0.0.1:0", token=TOKEN
+            )
+            collector.start()
+            try:
+                client = collector_client(collector)
+                verified = make_result(1, rounds=7.0, verified=True).to_record()
+                unverified = make_result(1, rounds=9.0, verified=False).to_record()
+                if order == "unverified-first":
+                    client.push([unverified])
+                    response = client.push([verified])
+                    assert response["accepted"] == 1
+                else:
+                    client.push([verified])
+                    response = client.push([unverified])
+                    assert response["dropped"] == 1
+            finally:
+                collector.close()
+            # the store's readers resolve to the verified record either way
+            store = ResultStore(tmp_path / order)
+            assert store.completed_fingerprints() == {verified["fingerprint"]}
+            latest = {r["fingerprint"]: r for r in store.records()}
+            assert latest[verified["fingerprint"]]["verified"] is True
+            assert latest[verified["fingerprint"]]["rounds"] == 7.0
+
+    def test_equal_rank_differing_payloads_count_conflicts(self, collector):
+        client = collector_client(collector)
+        client.push([make_result(1, rounds=7.0).to_record()])
+        response = client.push([make_result(1, rounds=13.0).to_record()])
+        assert response["conflicts"] == 1
+        # last-write-wins, exactly like merge_result_files
+        latest = {r["fingerprint"]: r for r in collector.store.records()}
+        assert latest[make_result(1).fingerprint]["rounds"] == 13.0
+
+    def test_concurrent_streams_verified_wins_every_time(self, tmp_path):
+        """Two connections racing the same fingerprint: whatever the
+        interleaving, the verified record must survive.  Runs many rounds
+        over fresh fingerprints so a regression to timing-dependent
+        resolution has many chances to show."""
+        collector = ResultCollector(
+            out=tmp_path / "race", listen="127.0.0.1:0", token=TOKEN
+        )
+        collector.start()
+        try:
+            client = collector_client(collector)
+            rounds = 20
+            with client.connection() as stream_a, client.connection() as stream_b:
+                for index in range(rounds):
+                    fingerprint = f"{index:016x}"
+                    verified = make_result(
+                        index, rounds=7.0, verified=True, fingerprint=fingerprint
+                    ).to_record()
+                    unverified = make_result(
+                        index, rounds=9.0, verified=False, fingerprint=fingerprint
+                    ).to_record()
+                    barrier = threading.Barrier(2)
+
+                    def push(stream, record):
+                        barrier.wait()
+                        stream.request(
+                            {"op": "push", "records": [record], "token": TOKEN}
+                        )
+
+                    threads = [
+                        threading.Thread(target=push, args=(stream_a, verified)),
+                        threading.Thread(target=push, args=(stream_b, unverified)),
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join(timeout=10)
+        finally:
+            collector.close()
+        latest = {r["fingerprint"]: r for r in ResultStore(tmp_path / "race").records()}
+        assert len(latest) == rounds
+        for record in latest.values():
+            assert record["verified"] is True, record
+            assert record["rounds"] == 7.0
+
+    def test_restarted_collector_still_blocks_unverified(self, tmp_path):
+        """The dedup index is reseeded from the store on start, through the
+        same policy."""
+        first = ResultCollector(out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN)
+        first.start()
+        collector_client(first).push([make_result(1, verified=True).to_record()])
+        first.close()
+
+        second = ResultCollector(out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN)
+        second.start()
+        try:
+            response = collector_client(second).push(
+                [make_result(1, verified=False).to_record()]
+            )
+            assert response["dropped"] == 1
+        finally:
+            second.close()
+
+    def test_resolve_duplicate_is_shared_with_merge(self):
+        verified = make_result(1, verified=True).to_record()
+        unverified = make_result(1, verified=False).to_record()
+        assert not resolve_duplicate(verified, unverified).keep_newcomer
+        assert resolve_duplicate(unverified, verified).keep_newcomer
+        equal_rank = resolve_duplicate(
+            make_result(1, rounds=7.0).to_record(),
+            make_result(1, rounds=9.0).to_record(),
+        )
+        assert equal_rank.keep_newcomer and equal_rank.conflict
+
+
+class TestStreamedEquivalence:
+    """The acceptance bar: two shard workers streaming to a TCP collector
+    yield a store whose ``report --json`` bundle is byte-identical to the
+    PR 3 file-based shard→merge→report path over the same records."""
+
+    def test_streamed_store_report_matches_merge_path(self, collector, tmp_path, capsys):
+        host, port = collector.tcp_address
+
+        def run_shard(index):
+            assert main([
+                "run", "paper-claims", "--smoke", "--jobs", "1", "--quiet",
+                "--shard", f"{index}/2", "--out", str(tmp_path / f"shard{index}"),
+                "--collector", f"{host}:{port}", "--token", TOKEN,
+            ]) == 0
+
+        # Two shard workers streaming concurrently, like two machines would.
+        threads = [
+            threading.Thread(target=run_shard, args=(index,)) for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+
+        expected = len(get_suite("paper-claims").cells(smoke=True))
+        assert collector.accepted == expected
+        assert collector.dropped == 0 and collector.conflicts == 0
+
+        # file-based path: merge the shard workers' local stores
+        merged = tmp_path / "merged"
+        assert main([
+            "merge", "--out", str(merged / "results.jsonl"),
+            str(tmp_path / "shard0" / "results.jsonl"),
+            str(tmp_path / "shard1" / "results.jsonl"),
+        ]) == 0
+        assert main([
+            "report", "--out", str(merged), "--json", str(tmp_path / "merged.json"),
+            "--csv", str(tmp_path / "merged.csv"),
+        ]) == 0
+
+        # streamed path, read two ways: the collector's store file, and
+        # the collector's server-side report verb
+        assert main([
+            "report", "--out", str(tmp_path / "central"),
+            "--json", str(tmp_path / "central.json"),
+        ]) == 0
+        assert main([
+            "report", "--connect", f"{host}:{port}", "--token", TOKEN,
+            "--json", str(tmp_path / "verb.json"), "--csv", str(tmp_path / "verb.csv"),
+        ]) == 0
+        capsys.readouterr()
+
+        merged_json = (tmp_path / "merged.json").read_bytes()
+        assert merged_json == (tmp_path / "central.json").read_bytes()
+        assert merged_json == (tmp_path / "verb.json").read_bytes()
+        assert (tmp_path / "merged.csv").read_bytes() == (tmp_path / "verb.csv").read_bytes()
+        # and the stores themselves hold identical cell sets
+        merged_records = {
+            r["fingerprint"]: r for r in ResultStore(merged).records()
+        }
+        streamed_records = {
+            r["fingerprint"]: r for r in ResultStore(tmp_path / "central").records()
+        }
+        assert merged_records == streamed_records
+
+    def test_sink_failure_does_not_fail_the_sweep(self, tmp_path, capsys):
+        """A collector that disappears mid-sweep costs the stream, not the
+        results: the local store completes, the exit code flags the loss."""
+        collector = ResultCollector(
+            out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN
+        )
+        collector.start()
+        host, port = collector.tcp_address
+        collector.close()  # gone before the sweep starts
+        code = main([
+            "run", "paper-claims", "--smoke", "--jobs", "1", "--quiet",
+            "--shard", "0/2", "--out", str(tmp_path / "local"),
+            "--collector", f"{host}:{port}", "--token", TOKEN,
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "COLLECTOR STREAM FAILED" in captured.err
+        # every executed cell still landed in the local store
+        expected = [
+            cell for cell in get_suite("paper-claims").cells(smoke=True)
+            if int(cell.fingerprint, 16) % 2 == 0
+        ]
+        assert len(ResultStore(tmp_path / "local").records()) == len(expected)
+
+
+class TestDaemonReportVerb:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        daemon = SweepDaemon(socket_path=tmp_path / "svc.sock", workers=2)
+        daemon.start()
+        yield daemon
+        daemon.close()
+
+    def test_report_for_finished_job_matches_local_bytes(self, daemon, tmp_path, capsys):
+        client = ServiceClient(daemon.socket_path)
+        out = tmp_path / "store"
+        job = client.submit("paper-claims", smoke=True, out=str(out))
+        client.wait(job, timeout=120)
+        payload = client.report(job)
+        assert payload["state"] == "done"
+        assert payload["all_verified"] is True
+        assert "Theorem 3 shape" in payload["render"]
+        # byte-identical to a local `report --json` over the job's store
+        assert main([
+            "report", "--out", str(out), "--json", str(tmp_path / "local.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert payload["json"].encode() == (tmp_path / "local.json").read_bytes()
+
+    def test_report_requires_a_finished_job(self, daemon, tmp_path):
+        client = ServiceClient(daemon.socket_path)
+        with pytest.raises(ServiceError, match="requires a 'job'"):
+            client.report()
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.report("job-999")
+
+    def test_report_on_failed_job_without_records(self, daemon, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        client = ServiceClient(daemon.socket_path)
+        job = client.submit("paper-claims", smoke=True, out=str(blocked / "sub"))
+        assert client.wait(job)["state"] == "failed"
+        with pytest.raises(ServiceError, match="no results"):
+            client.report(job)
+
+
+class TestDaemonTcp:
+    def test_submit_wait_report_over_tcp(self, tmp_path):
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=2,
+            listen="127.0.0.1:0", token=TOKEN,
+        )
+        daemon.start()
+        try:
+            host, port = daemon.tcp_address
+            client = ServiceClient(f"{host}:{port}", token=TOKEN)
+            assert client.ping()["pool"]["workers"] == 2
+            out = tmp_path / "store"
+            job = client.submit("paper-claims", smoke=True, out=str(out))
+            status = client.wait(job, timeout=120)
+            assert status["state"] == "done" and status["unverified"] == 0
+            assert "Theorem 3 shape" in client.report(job)["render"]
+        finally:
+            daemon.close()
+
+    def test_tcp_request_with_wrong_token_refused(self, tmp_path):
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=1,
+            listen="127.0.0.1:0", token=TOKEN,
+        )
+        daemon.start()
+        try:
+            host, port = daemon.tcp_address
+            with pytest.raises(ServiceError, match="authentication failed"):
+                ServiceClient(f"{host}:{port}", token="wrong").ping()
+            # the Unix socket keeps working without any token
+            assert ServiceClient(daemon.socket_path).ping()["ok"] is True
+        finally:
+            daemon.close()
+
+    def test_listen_without_token_refused_before_pool_start(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=1, listen="127.0.0.1:0"
+        )
+        with pytest.raises(ServiceError, match="without an auth token"):
+            daemon.start()
+        assert not daemon.pool.started
+        daemon.close()
+
+    def test_listen_must_be_tcp(self, tmp_path):
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=1,
+            listen="/tmp/some.sock", token=TOKEN,
+        )
+        with pytest.raises(ServiceError, match="host:port"):
+            daemon.start()
+        assert not daemon.pool.started
+        daemon.close()
+
+    def test_daemon_job_streams_to_collector(self, collector, tmp_path):
+        """submit --collector: the daemon itself streams the job's records."""
+        host, port = collector.tcp_address
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=2, token=TOKEN
+        )
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.socket_path)
+            job = client.submit(
+                "paper-claims", smoke=True, out=str(tmp_path / "store"),
+                collector=f"{host}:{port}",
+            )
+            status = client.wait(job, timeout=120)
+            assert status["state"] == "done"
+            assert status["sink_error"] is None
+            assert collector.accepted == status["executed"] > 0
+        finally:
+            daemon.close()
+
+
+class TestClientConnectRetry:
+    """The startup-race fix: ConnectionRefusedError (and a not-yet-bound
+    socket file) retries with backoff instead of failing immediately."""
+
+    def test_default_retry_budget_is_positive(self):
+        assert ServiceClient("127.0.0.1:1").connect_retry_s > 0
+
+    def test_tcp_connection_refused_retries_until_server_appears(self):
+        # reserve a free port, then release it so connects are refused
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+
+        client = ServiceClient(
+            f"127.0.0.1:{port}", token=TOKEN, connect_retry_s=10
+        )
+        with pytest.raises(ServiceError, match="cannot reach"):
+            ServiceClient(
+                f"127.0.0.1:{port}", token=TOKEN, connect_retry_s=0
+            ).ping()
+
+        server = LineServer(lambda r: ok_response(up=True), token=TOKEN)
+
+        def start_late():
+            time.sleep(0.4)
+            server.listen_tcp("127.0.0.1", port)
+            server.start()
+
+        starter = threading.Thread(target=start_late, daemon=True)
+        begun = time.monotonic()
+        starter.start()
+        try:
+            assert client.ping()["up"] is True
+            assert time.monotonic() - begun >= 0.3  # it genuinely waited
+        finally:
+            starter.join(timeout=10)
+            server.close()
+
+    def test_unix_stale_socket_retries_until_daemon_replaces_it(self, tmp_path):
+        path = tmp_path / "race.sock"
+        # a dead server's leftover: bound once, nobody accepting →
+        # connects raise ConnectionRefusedError
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(str(path))
+        leftover.close()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            ServiceClient(path, connect_retry_s=0).ping()
+
+        server = LineServer(lambda r: ok_response(up=True))
+
+        def start_late():
+            time.sleep(0.3)
+            server.listen_unix(path)
+            server.start()
+
+        starter = threading.Thread(target=start_late, daemon=True)
+        starter.start()
+        try:
+            assert ServiceClient(path, connect_retry_s=10).ping()["up"] is True
+        finally:
+            starter.join(timeout=10)
+            server.close()
+
+    def test_missing_socket_file_also_retries(self, tmp_path):
+        """`serve &` may not have bound yet when the first submit arrives:
+        FileNotFoundError is part of the same startup race."""
+        path = tmp_path / "notyet.sock"
+        server = LineServer(lambda r: ok_response(up=True))
+
+        def start_late():
+            time.sleep(0.3)
+            server.listen_unix(path)
+            server.start()
+
+        starter = threading.Thread(target=start_late, daemon=True)
+        starter.start()
+        try:
+            assert ServiceClient(path, connect_retry_s=10).ping()["up"] is True
+        finally:
+            starter.join(timeout=10)
+            server.close()
+
+    def test_exhausted_budget_raises_service_error_with_hint(self, tmp_path):
+        began = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach"):
+            ServiceClient(tmp_path / "ghost.sock", connect_retry_s=0.3).ping()
+        elapsed = time.monotonic() - began
+        assert 0.2 <= elapsed < 5
+
+
+class TestCollectorSink:
+    def test_sink_reconnects_after_collector_restart(self, tmp_path):
+        """One mid-stream collector restart costs a reconnect, not the sweep."""
+        first = ResultCollector(out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN)
+        first.start()
+        host, port = first.tcp_address
+        sink = CollectorSink(
+            ServiceClient(f"{host}:{port}", token=TOKEN, connect_retry_s=10)
+        )
+        sink(make_result(1))
+        first.close()
+
+        second = ResultCollector(out=tmp_path / "c", listen="127.0.0.1:0", token=TOKEN)
+        # rebind the same port; SO_REUSEADDR makes this immediate
+        second.listen = f"127.0.0.1:{port}"
+        second.start()
+        try:
+            sink(make_result(2))
+            assert sink.pushed == 2
+        finally:
+            sink.close()
+            second.close()
+        assert {r["seed"] for r in ResultStore(tmp_path / "c").records()} == {1, 2}

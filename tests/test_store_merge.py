@@ -1,5 +1,7 @@
 """Merge edge cases: conflicting payloads, truncated tails, empty and
-missing inputs, incremental merges into an existing store."""
+missing inputs, incremental merges into an existing store — plus the
+shared duplicate policy (`resolve_duplicate`) that the streaming
+collector applies record-by-record."""
 
 import json
 
@@ -10,6 +12,7 @@ from repro.experiments import (
     ResultStore,
     merge_result_files,
 )
+from repro.experiments.store import resolve_duplicate, semantic_payload
 
 
 def make_result(
@@ -121,6 +124,62 @@ class TestConflicts:
         b = write_store(tmp_path / "b", [make_result(1, verified=False, rounds=9.0)])
         report = merge_result_files([a.path, b.path], tmp_path / "m.jsonl")
         assert len(report.conflicts) == 1
+
+
+class TestSharedDuplicatePolicy:
+    """resolve_duplicate is the one policy both fan-in paths (file merge
+    and the TCP collector) apply; pin it directly, in every rank pairing."""
+
+    def test_verified_never_displaced_by_unverified(self):
+        verified = make_result(1, verified=True).to_record()
+        unverified = make_result(1, verified=False, rounds=99.0).to_record()
+        resolution = resolve_duplicate(verified, unverified)
+        assert not resolution.keep_newcomer and not resolution.conflict
+
+    def test_verified_supersedes_unverified_without_conflict(self):
+        unverified = make_result(1, verified=False, rounds=99.0).to_record()
+        verified = make_result(1, verified=True).to_record()
+        resolution = resolve_duplicate(unverified, verified)
+        assert resolution.keep_newcomer and not resolution.conflict
+
+    @pytest.mark.parametrize("verified", [True, False])
+    def test_equal_rank_identical_payloads_newcomer_wins_quietly(self, verified):
+        first = make_result(1, verified=verified, wall_clock_s=0.1).to_record()
+        second = make_result(1, verified=verified, wall_clock_s=9.9).to_record()
+        resolution = resolve_duplicate(first, second)
+        assert resolution.keep_newcomer and not resolution.conflict
+
+    @pytest.mark.parametrize("verified", [True, False])
+    def test_equal_rank_differing_payloads_conflict(self, verified):
+        first = make_result(1, verified=verified, rounds=7.0).to_record()
+        second = make_result(1, verified=verified, rounds=13.0).to_record()
+        resolution = resolve_duplicate(first, second)
+        assert resolution.keep_newcomer and resolution.conflict
+
+    def test_semantic_payload_ignores_nonsemantic_fields(self):
+        record = make_result(1, wall_clock_s=1.0, suite="x").to_record()
+        twin = make_result(1, wall_clock_s=2.0, suite="y").to_record()
+        assert semantic_payload(record) == semantic_payload(twin)
+
+    def test_merge_three_way_race_verified_wins_in_every_order(self, tmp_path):
+        """Simulate the same fingerprint arriving from three shard stores
+        in every permutation: one verified record among unverified ones
+        must survive whatever the arrival order — the file-based analogue
+        of two streams racing a collector."""
+        import itertools
+
+        verified = make_result(1, verified=True, rounds=7.0)
+        stale_a = make_result(1, verified=False, rounds=9.0, wall_clock_s=0.1)
+        stale_b = make_result(1, verified=False, rounds=9.0, wall_clock_s=0.9)
+        paths = {}
+        for name, result in (("v", verified), ("a", stale_a), ("b", stale_b)):
+            paths[name] = write_store(tmp_path / name, [result]).path
+        for permutation in itertools.permutations("vab"):
+            out = tmp_path / ("m-" + "".join(permutation) + ".jsonl")
+            report = merge_result_files([paths[name] for name in permutation], out)
+            assert report.ok, [c.describe() for c in report.conflicts]
+            [record] = ResultStore.from_path(out).records()
+            assert record["verified"] is True and record["rounds"] == 7.0
 
 
 class TestDamagedInputs:
