@@ -1,16 +1,25 @@
 """BENCH — the simulation-engine regression benchmark.
 
 Records the wall-clock, round and message trajectory of the hot paths
-every experiment (E1–E8) funnels through:
+every experiment (E1–E8) funnels through, now **per engine backend**:
+each simulator and decomposition scenario that has an array kernel is
+timed on both the interpreted active-set engine and the vectorized NumPy
+engine, and the JSON output carries **one record per (scenario, engine)
+pair** with an explicit ``engine`` field.
 
-* ``run_synchronous`` on seeded random trees and bounded-degree graphs
-  (Linial colouring, Cole–Vishkin forest 3-colouring, colour-class MIS),
-* the decomposition processes (rake-and-compress, Algorithm 3), and
-* the bounded-degree random-graph generator.
+Two regression gates are asserted:
 
-It also re-runs the seed engine (``run_synchronous_reference``) on the
-n=10⁴ random tree and asserts a ≥5× speedup with bit-identical
-``RunResult`` fields, so a future PR cannot silently regress the engine.
+* the interpreted engine stays ≥5× faster than the seed engine
+  (``run_synchronous_reference``) on the n=10⁴ random tree, with
+  bit-identical ``RunResult`` fields, and
+* the vectorized engine stays above per-scenario speedup floors over the
+  interpreted engine at n=10⁵ (forest 3-colouring ≥10×, Linial ≥5×),
+  again with bit-identical results.
+
+In full (non-smoke) mode the vectorized backend additionally runs the
+million-node instances the interpreted engine cannot reach in reasonable
+time — those records demonstrate the n=10⁶ scale and have no interpreted
+counterpart.
 
 Run the full sweep::
 
@@ -44,61 +53,91 @@ from repro.generators import (  # noqa: E402
     random_tree,
 )
 from repro.local import Network, run_synchronous, run_synchronous_reference  # noqa: E402
+from repro.local.vectorized import run_vectorized  # noqa: E402
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
-#: Sizes of the engine sweep; the last tree size is the speedup scenario.
+#: Sizes of the dual-engine sweep; the last tree size is the seed-speedup
+#: scenario's size in full mode.
 TREE_SIZES = [1000, 3000] if SMOKE else [1000, 10000, 30000]
 SPEEDUP_N = 2000 if SMOKE else 10000
 SPEEDUP_FACTOR = 5.0
 
+#: Size of the vectorized-vs-interpreted speedup gate and its
+#: per-scenario floors.  Measured at n=10⁵: forest ~50×, Linial ~10×;
+#: the floors leave headroom for machine noise.
+VEC_SPEEDUP_N = 20000 if SMOKE else 100_000
+VEC_SPEEDUP_FLOORS = (
+    {"linial": 3.0, "forest-3-coloring": 5.0}
+    if SMOKE
+    else {"linial": 5.0, "forest-3-coloring": 10.0}
+)
 
+#: Full-mode-only demonstration size for the vectorized backend.
+FULL_SCALE_N = 1_000_000
 
 
 def _engine_scenarios():
-    """Fast-engine scenarios: (scenario name, n, rounds, messages, seconds)."""
-    rows = []
+    """Dual-engine sweep: one entry per (scenario, engine) pair."""
+    entries = []
     for n in TREE_SIZES:
         tree = random_tree(n, seed=42)
-        network = Network(tree)
-        result, seconds = timed(lambda: run_synchronous(network, LinialColoring()))
-        rows.append(("sync/linial/random-tree", n, result.rounds, result.messages_sent, seconds))
-
         parents = bfs_forest_parents(tree)
-        forest_network = Network(tree, node_inputs=parents)
-        result, seconds = timed(
-            lambda: run_synchronous(forest_network, ForestThreeColoring())
-        )
-        rows.append(
-            ("sync/forest-3-coloring/random-tree", n, result.rounds, result.messages_sent, seconds)
-        )
+        for scenario, algorithm_factory, inputs in (
+            ("sync/linial/random-tree", LinialColoring, None),
+            ("sync/forest-3-coloring/random-tree", ForestThreeColoring, parents),
+        ):
+            network = Network(tree, node_inputs=inputs)
+            for engine, runner in (
+                ("interpreted", run_synchronous),
+                ("vectorized", run_vectorized),
+            ):
+                result, seconds = timed(lambda: runner(network, algorithm_factory()))
+                entries.append(scenario_entry(
+                    scenario, n, seconds,
+                    rounds=result.rounds, messages=result.messages_sent,
+                    engine=engine,
+                ))
 
     n = 1000 if SMOKE else 5000
     graph = random_graph_with_max_degree(n, 8, seed=7)
     run, seconds = timed(lambda: maximal_independent_set(graph))
-    rows.append(("sync/color-class-mis/bounded-degree", n, run.rounds, None, seconds))
-    return rows
+    entries.append(scenario_entry(
+        "sync/color-class-mis/bounded-degree", n, seconds,
+        rounds=run.rounds, engine="interpreted",
+    ))
+    return entries
 
 
 def _decomposition_scenarios():
-    """Decomposition / generator scenarios: (scenario, n, rounds, seconds)."""
-    rows = []
+    """Decomposition scenarios on both engines, plus the generator."""
+    entries = []
     n = 3000 if SMOKE else 30000
     tree = random_tree(n, seed=5)
-    decomposition, seconds = timed(lambda: rake_and_compress(tree, k=8))
-    rows.append(("decomposition/rake-compress/random-tree", n, decomposition.rounds, seconds))
+    for engine in ("interpreted", "vectorized"):
+        decomposition, seconds = timed(
+            lambda: rake_and_compress(tree, k=8, engine=engine)
+        )
+        entries.append(scenario_entry(
+            "decomposition/rake-compress/random-tree", n, seconds,
+            rounds=decomposition.rounds, engine=engine,
+        ))
 
     n = 1000 if SMOKE else 10000
     graph = forest_union(n, arboricity=3, seed=11)
-    decomposition, seconds = timed(
-        lambda: arboricity_decomposition(graph, arboricity=3, k=15)
-    )
-    rows.append(("decomposition/arboricity/forest-union", n, decomposition.rounds, seconds))
+    for engine in ("interpreted", "vectorized"):
+        decomposition, seconds = timed(
+            lambda: arboricity_decomposition(graph, arboricity=3, k=15, engine=engine)
+        )
+        entries.append(scenario_entry(
+            "decomposition/arboricity/forest-union", n, seconds,
+            rounds=decomposition.rounds, engine=engine,
+        ))
 
     n = 2000 if SMOKE else 20000
     _, seconds = timed(lambda: random_graph_with_max_degree(n, 8, seed=3))
-    rows.append(("generator/random-graph-max-degree", n, None, seconds))
-    return rows
+    entries.append(scenario_entry("generator/random-graph-max-degree", n, seconds))
+    return entries
 
 
 def _speedup_scenario():
@@ -131,6 +170,7 @@ def _speedup_scenario():
                 fast_seconds,
                 rounds=fast.rounds,
                 messages=fast.messages_sent,
+                engine="interpreted",
                 reference_wall_clock_s=round(reference_seconds, 6),
                 speedup=round(speedup, 2),
             )
@@ -138,38 +178,116 @@ def _speedup_scenario():
     return entries, speedups
 
 
+def _vectorized_speedup_scenario():
+    """Vectorized vs. interpreted engine on the n=VEC_SPEEDUP_N tree.
+
+    Returns (entries, speedups); asserts bit-identical RunResult fields.
+    One entry per engine, the vectorized one carrying the speedup.
+    """
+    tree = random_tree(VEC_SPEEDUP_N, seed=42)
+    parents = bfs_forest_parents(tree)
+    entries = []
+    speedups = {}
+    for algorithm_factory, inputs, name in (
+        (LinialColoring, None, "linial"),
+        (ForestThreeColoring, parents, "forest-3-coloring"),
+    ):
+        network = Network(tree, node_inputs=inputs)
+        vectorized, vectorized_seconds = timed(
+            lambda: run_vectorized(network, algorithm_factory())
+        )
+        interpreted, interpreted_seconds = timed(
+            lambda: run_synchronous(network, algorithm_factory())
+        )
+        assert vectorized.rounds == interpreted.rounds
+        assert vectorized.messages_sent == interpreted.messages_sent
+        assert vectorized.outputs == interpreted.outputs
+        speedup = interpreted_seconds / vectorized_seconds
+        speedups[name] = speedup
+        scenario = f"vectorized-speedup/{name}/random-tree"
+        entries.append(scenario_entry(
+            scenario, VEC_SPEEDUP_N, interpreted_seconds,
+            rounds=interpreted.rounds, messages=interpreted.messages_sent,
+            engine="interpreted",
+        ))
+        entries.append(scenario_entry(
+            scenario, VEC_SPEEDUP_N, vectorized_seconds,
+            rounds=vectorized.rounds, messages=vectorized.messages_sent,
+            engine="vectorized",
+            speedup=round(speedup, 2),
+        ))
+    return entries, speedups
+
+
+def _full_scale_scenarios():
+    """Million-node vectorized runs the interpreted engine cannot reach."""
+    entries = []
+    tree = random_tree(FULL_SCALE_N, seed=42)
+    parents = bfs_forest_parents(tree)
+    for algorithm_factory, inputs, name in (
+        (LinialColoring, None, "linial"),
+        (ForestThreeColoring, parents, "forest-3-coloring"),
+    ):
+        network = Network(tree, node_inputs=inputs)
+        result, seconds = timed(lambda: run_vectorized(network, algorithm_factory()))
+        entries.append(scenario_entry(
+            f"full-scale/{name}/random-tree", FULL_SCALE_N, seconds,
+            rounds=result.rounds, messages=result.messages_sent,
+            engine="vectorized",
+        ))
+    return entries
+
+
 def run_bench(check_speedup: bool = True) -> list:
     """Run every scenario, write table + JSON, return the JSON entries."""
     table = MeasurementTable(
-        "BENCH: simulation engine (wall-clock per scenario)",
-        ["scenario", "n", "wall clock [s]", "rounds", "messages"],
+        "BENCH: simulation engine (wall-clock per scenario and engine)",
+        ["scenario", "engine", "n", "wall clock [s]", "rounds", "messages"],
     )
     entries = []
 
-    for scenario, n, rounds, messages, seconds in _engine_scenarios():
-        entries.append(scenario_entry(scenario, n, seconds, rounds=rounds, messages=messages))
-        table.add_row(scenario, n, seconds, rounds, messages if messages is not None else "-")
+    def add(entry, label=None):
+        entries.append(entry)
+        table.add_row(
+            label if label is not None else entry["scenario"],
+            entry.get("engine") or "-",
+            entry["n"],
+            entry["wall_clock_s"],
+            entry["rounds"] if entry["rounds"] is not None else "-",
+            entry["messages"] if entry["messages"] is not None else "-",
+        )
 
-    for scenario, n, rounds, seconds in _decomposition_scenarios():
-        entries.append(scenario_entry(scenario, n, seconds, rounds=rounds))
-        table.add_row(scenario, n, seconds, rounds if rounds is not None else "-", "-")
+    for entry in _engine_scenarios():
+        add(entry)
+    for entry in _decomposition_scenarios():
+        add(entry)
 
     speedup_entries, speedups = _speedup_scenario()
     for entry in speedup_entries:
-        entries.append(entry)
-        table.add_row(
-            f"{entry['scenario']} ({entry['speedup']}x vs seed)",
-            entry["n"],
-            entry["wall_clock_s"],
-            entry["rounds"],
-            entry["messages"],
-        )
+        add(entry, label=f"{entry['scenario']} ({entry['speedup']}x vs seed)")
+
+    vec_entries, vec_speedups = _vectorized_speedup_scenario()
+    for entry in vec_entries:
+        label = None
+        if "speedup" in entry:
+            label = f"{entry['scenario']} ({entry['speedup']}x vs interpreted)"
+        add(entry, label=label)
+
+    if not SMOKE:
+        for entry in _full_scale_scenarios():
+            add(entry)
 
     record_table("bench_engine", table)
     record_json(
         "bench_engine",
         entries,
-        meta={"smoke": SMOKE, "speedup_target": SPEEDUP_FACTOR, "speedups": speedups},
+        meta={
+            "smoke": SMOKE,
+            "speedup_target": SPEEDUP_FACTOR,
+            "speedups": speedups,
+            "vectorized_speedup_floors": VEC_SPEEDUP_FLOORS,
+            "vectorized_speedups": vec_speedups,
+        },
     )
     if check_speedup:
         for name, speedup in speedups.items():
@@ -177,14 +295,26 @@ def run_bench(check_speedup: bool = True) -> list:
                 f"engine speedup regressed: {name} is only {speedup:.1f}x "
                 f"(target ≥{SPEEDUP_FACTOR}x) over the seed engine"
             )
+        for name, speedup in vec_speedups.items():
+            floor = VEC_SPEEDUP_FLOORS[name]
+            assert speedup >= floor, (
+                f"vectorized speedup regressed: {name} is only {speedup:.1f}x "
+                f"(target ≥{floor}x) over the interpreted engine at "
+                f"n={VEC_SPEEDUP_N}"
+            )
     return entries
 
 
 def test_bench_engine_and_speedup():
     entries = run_bench(check_speedup=True)
     assert any(entry["scenario"].startswith("speedup/") for entry in entries)
+    assert any(
+        entry["scenario"].startswith("vectorized-speedup/")
+        and entry.get("engine") == "vectorized"
+        for entry in entries
+    )
 
 
 if __name__ == "__main__":
     run_bench(check_speedup=True)
-    print("bench_engine: all scenarios recorded, speedup target met")
+    print("bench_engine: all scenarios recorded, speedup targets met")

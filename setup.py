@@ -2,10 +2,23 @@
 
 The environment this repository targets has no ``wheel`` package available
 (offline), so ``pip install -e .`` falls back to the legacy
-``setup.py develop`` code path, which this file enables.  All metadata
-lives in ``pyproject.toml``.
+``setup.py develop`` code path, which this file enables.
+
+``numpy`` is a hard dependency: the vectorized array engine
+(:mod:`repro.local.vectorized`) is the default backend for the
+kernel-capable baselines and the decomposition peeling loops, and the
+experiments CLI exposes it through ``--engine``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+)

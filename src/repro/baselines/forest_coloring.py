@@ -29,7 +29,13 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
-from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, run_synchronous
+from repro.local import (
+    Network,
+    NodeContext,
+    RunResult,
+    SynchronousAlgorithm,
+    select_engine,
+)
 
 
 def reduction_iterations(max_identifier: int) -> int:
@@ -115,6 +121,7 @@ def color_forest_three(
     forest: nx.Graph,
     parents: Mapping[Hashable, Hashable | None],
     identifiers: Mapping[Hashable, int] | None = None,
+    engine: str | None = None,
 ) -> tuple[dict, int]:
     """3-colour a rooted forest in ``O(log* n)`` rounds.
 
@@ -127,6 +134,9 @@ def color_forest_three(
         non-``None`` parent must be a neighbour of the node.
     identifiers:
         Optional identifier assignment (defaults to the canonical one).
+    engine:
+        Optional engine-mode override (``auto`` / ``interpreted`` /
+        ``vectorized``); defaults to the ambient scope's mode.
 
     Returns
     -------
@@ -143,5 +153,6 @@ def color_forest_three(
         identifiers=identifiers,
         node_inputs={node: parents.get(node) for node in forest.nodes()},
     )
-    result: RunResult = run_synchronous(network, ForestThreeColoring())
+    algorithm = ForestThreeColoring()
+    result: RunResult = select_engine(algorithm, engine)(network, algorithm)
     return result.outputs, result.rounds

@@ -21,7 +21,13 @@ from typing import Hashable, Mapping
 import networkx as nx
 
 from repro.baselines.primes import next_prime
-from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, run_synchronous
+from repro.local import (
+    Network,
+    NodeContext,
+    RunResult,
+    SynchronousAlgorithm,
+    select_engine,
+)
 
 
 def choose_field(num_colours: int, max_degree: int) -> tuple[int, int]:
@@ -129,11 +135,15 @@ class LinialColoring(SynchronousAlgorithm):
 
 
 def linial_coloring(
-    graph: nx.Graph, identifiers: Mapping[Hashable, int] | None = None
+    graph: nx.Graph,
+    identifiers: Mapping[Hashable, int] | None = None,
+    engine: str | None = None,
 ) -> tuple[dict, int, int]:
     """Properly colour ``graph`` with ``O(Δ²)`` colours in ``O(log* n)`` rounds.
 
     Returns ``(colours, palette_size, rounds)`` where colours are 1-based.
+    ``engine`` overrides the ambient engine mode (``auto`` uses the
+    vectorized backend when numpy is importable; results are identical).
     """
     network = Network(graph, identifiers=identifiers)
     if network.num_nodes == 0:
@@ -141,6 +151,7 @@ def linial_coloring(
     schedule, final_colours = reduction_schedule(
         network.max_identifier + 1, network.max_degree
     )
-    result: RunResult = run_synchronous(network, LinialColoring())
+    algorithm = LinialColoring()
+    result: RunResult = select_engine(algorithm, engine)(network, algorithm)
     del schedule
     return result.outputs, final_colours, result.rounds

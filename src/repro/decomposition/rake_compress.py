@@ -30,6 +30,7 @@ from typing import Hashable
 import networkx as nx
 
 from repro.local.csr import CSRAdjacency
+from repro.local.engine import note_engine_use
 
 #: Rounds charged per peeling iteration (one for the compress test, one for
 #: the rake test — each only inspects the 1-hop neighbourhood).
@@ -148,6 +149,7 @@ def rake_and_compress(
     k: int,
     identifiers: dict[Hashable, int] | None = None,
     strict_iteration_bound: bool = False,
+    engine: str | None = None,
 ) -> RakeCompressDecomposition:
     """Run Algorithm 1 on ``tree`` with compress parameter ``k``.
 
@@ -165,6 +167,10 @@ def rake_and_compress(
         When true, raise if the process needs more than the paper's
         ``⌈log_k n⌉ + 1`` iterations; otherwise keep iterating (and record
         the excess), which is useful for k-sweep ablations.
+    engine:
+        Optional engine-mode override; under ``auto``/``vectorized`` the
+        peeling loop runs as whole-forest array operations (identical
+        layers, iterations and errors).
 
     Returns
     -------
@@ -188,6 +194,25 @@ def rake_and_compress(
     # One-time CSR indexing: the peeling loop runs on int indices and
     # flat offset/target arrays rather than dict-of-set adjacencies.
     csr = CSRAdjacency.from_graph(tree)
+
+    from repro.local.vectorized import use_vectorized
+
+    if use_vectorized(engine):
+        layers, node_layer, iteration = _peel_vectorized(
+            csr, k, n, safety_cap, theoretical_bound, strict_iteration_bound
+        )
+        note_engine_use("vectorized")
+        return RakeCompressDecomposition(
+            tree=tree,
+            k=k,
+            layers=layers,
+            node_layer=node_layer,
+            iterations=iteration,
+            rounds=ROUNDS_PER_ITERATION * iteration,
+            theoretical_iteration_bound=theoretical_bound,
+            identifiers=dict(identifiers),
+        )
+
     node_of = csr.nodes
     offsets, targets = csr.offsets, csr.targets
     remaining = csr.degrees()
@@ -246,6 +271,7 @@ def rake_and_compress(
                 "rake-and-compress made no progress; the input is not a forest"
             )
 
+    note_engine_use("interpreted")
     return RakeCompressDecomposition(
         tree=tree,
         k=k,
@@ -273,3 +299,85 @@ def _remove(
             if alive[j]:
                 remaining[j] -= 1
         remaining[i] = 0
+
+
+def _peel_vectorized(
+    csr: CSRAdjacency,
+    k: int,
+    n: int,
+    safety_cap: int,
+    theoretical_bound: int,
+    strict_iteration_bound: bool,
+) -> tuple[list[Layer], dict, int]:
+    """The peeling loop as whole-forest array operations.
+
+    Per iteration: one segment reduction decides the compress set (no
+    alive neighbour of remaining degree > k), one more the degree drops
+    from the removed nodes, then the same for the rake set.  The layers
+    produced are identical to the interpreted loop's — both remove all
+    marked nodes of an iteration simultaneously.
+    """
+    import numpy as np
+
+    from repro.local.vectorized import _segment_sum
+
+    indptr, indices, _ = csr.array_layout()
+    node_of = csr.nodes
+    remaining = indptr[1:] - indptr[:-1]
+    alive = np.ones(n, dtype=bool)
+
+    def remove(mask):
+        alive[mask] = False
+        drops = _segment_sum(mask[indices], indptr)
+        return np.where(alive, remaining - drops, 0)
+
+    layers: list[Layer] = []
+    node_layer: dict[Hashable, Layer] = {}
+    iteration = 0
+
+    while alive.any():
+        iteration += 1
+        if iteration > safety_cap:
+            raise RuntimeError(
+                f"rake-and-compress did not terminate within {safety_cap} iterations "
+                f"(n={n}, k={k}); this contradicts Lemma 9"
+            )
+        if strict_iteration_bound and iteration > theoretical_bound:
+            raise RuntimeError(
+                f"rake-and-compress exceeded the ⌈log_k n⌉+1 = {theoretical_bound} "
+                f"iteration bound (n={n}, k={k})"
+            )
+
+        high = alive & (remaining > k)
+        compressed = (
+            alive & (remaining <= k) & (_segment_sum(high[indices], indptr) == 0)
+        )
+        remaining = remove(compressed)
+        if compressed.any():
+            layer = Layer(
+                iteration,
+                "compress",
+                frozenset(node_of[i] for i in np.flatnonzero(compressed).tolist()),
+            )
+            layers.append(layer)
+            for node in layer.nodes:
+                node_layer[node] = layer
+
+        raked = alive & (remaining <= 1)
+        remaining = remove(raked)
+        if raked.any():
+            layer = Layer(
+                iteration,
+                "rake",
+                frozenset(node_of[i] for i in np.flatnonzero(raked).tolist()),
+            )
+            layers.append(layer)
+            for node in layer.nodes:
+                node_layer[node] = layer
+
+        if not compressed.any() and not raked.any():
+            raise RuntimeError(
+                "rake-and-compress made no progress; the input is not a forest"
+            )
+
+    return layers, node_layer, iteration

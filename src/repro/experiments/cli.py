@@ -131,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
             "the scaling\ntables (with a `<scenario> [charged]` column per "
             "charged scenario) and shape fits\nfrom the store alone.\n"
             "\n"
+            "engine selection (`run`/`submit --engine`):\n"
+            "  auto         (default) each algorithm family picks its backend: "
+            "kernel-capable\n               baselines (Linial, Cole–Vishkin "
+            "forest 3-colouring) and the\n               decomposition peels run "
+            "on the vectorized NumPy array engine,\n               everything "
+            "else on the interpreted active-set engine\n"
+            "  interpreted  force the interpreted engine everywhere\n"
+            "  vectorized   require the array engine for kernel-capable "
+            "families (fails if\n               numpy is unavailable)\n"
+            "  Results are bit-identical across engines; each stored cell "
+            "records the\n  backend(s) that served it in its `engine` field, "
+            "surfaced by `report`.\n"
+            "\n"
             "cross-machine transport:\n"
             "  `serve --listen host:port` adds a token-authenticated TCP "
             "listener next to the\n  Unix socket, and `collect --listen "
@@ -166,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard", type=_shard_spec, default=None, metavar="I/K",
         help="run only shard i of k (deterministic disjoint fingerprint "
         "partition), e.g. --shard 0/2",
+    )
+    sweep_options.add_argument(
+        "--engine", choices=("auto", "interpreted", "vectorized"), default="auto",
+        help="simulation backend for measured cells (default: auto — the "
+        "vectorized array engine wherever a kernel exists, interpreted "
+        "otherwise)",
     )
 
     run = sub.add_parser(
@@ -341,6 +360,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = SweepRunner(
         suite, store, jobs=jobs, smoke=args.smoke, sizes=args.sizes,
         seeds=args.seeds, shard=args.shard, sinks=(sink,) if sink else (),
+        engine=args.engine,
     )
 
     def progress(result: CellResult) -> None:
@@ -568,6 +588,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             shard=str(args.shard) if args.shard is not None else None,
             out=args.out,
             collector=args.collector,
+            engine=args.engine,
         )
         print(f"submitted {args.suite!r} as {job_id}")
         if not args.wait:

@@ -62,6 +62,11 @@ class ScenarioSummary:
     generator: str
     algorithm: str
     points: list[ScenarioPoint] = field(default_factory=list)
+    #: Execution provenance: every engine backend recorded by the
+    #: scenario's cells ("interpreted" / "vectorized" / "mixed").  Empty
+    #: for stores written before engines were recorded — the field is
+    #: schema-tolerant, like ``charged_rounds``.
+    engines: set = field(default_factory=set)
 
     @property
     def is_analytic(self) -> bool:
@@ -97,6 +102,9 @@ def aggregate(records: Iterable[dict[str, Any]]) -> list[ScenarioSummary]:
         summary = ScenarioSummary(scenario, generator, algorithm)
         for n in sorted(by_n):
             cells = by_n[n]
+            summary.engines.update(
+                c["engine"] for c in cells if c.get("engine") is not None
+            )
             message_counts = [c["messages"] for c in cells if c.get("messages") is not None]
             charged = [
                 c["charged_rounds"]
@@ -128,9 +136,17 @@ def _format_n(n: int) -> str:
 
 
 def scenario_table(summary: ScenarioSummary) -> MeasurementTable:
-    """The per-scenario detail table (one row per size)."""
+    """The per-scenario detail table (one row per size).
+
+    The title carries the engine provenance when the store recorded it,
+    so a report alone says which backend produced each series.
+    """
+    provenance = ""
+    if summary.engines:
+        provenance = f"  (engine: {'/'.join(sorted(summary.engines))})"
     table = MeasurementTable(
-        f"{summary.scenario}  [{summary.generator} × {summary.algorithm}]",
+        f"{summary.scenario}  [{summary.generator} × {summary.algorithm}]"
+        + provenance,
         ["n", "cells", "rounds (mean)", "charged (mean)", "messages (mean)",
          "wall s (mean)", "verified"],
     )

@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 
 from repro.experiments.shard import ShardSpec, shard_cells
 
-from repro.local import MessageMeter
+from repro.local import EngineScope, MessageMeter, numpy_available
 from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
 
@@ -36,20 +36,39 @@ def default_jobs() -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
-def run_cell(suite_name: str, cell: Cell) -> CellResult:
+def _effective_engine_mode(family_engine: str, override: str | None) -> str:
+    """The engine mode a cell runs under.
+
+    An explicit CLI/daemon ``override`` ("interpreted" / "vectorized")
+    beats the family's declared preference; otherwise the family decides.
+    A family-declared "vectorized" degrades to "auto" when numpy is
+    missing — the capability flag is a preference, only an explicit
+    override is a hard requirement.
+    """
+    if override in ("interpreted", "vectorized"):
+        return override
+    if family_engine == "vectorized" and not numpy_available():
+        return "auto"
+    return family_engine
+
+
+def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResult:
     """Execute one sweep cell and return its structured result.
 
     Top-level and argument-picklable by design: this is the function the
-    process pool ships to workers.
+    process pool ships to workers.  ``engine`` is the sweep-level
+    ``--engine`` override; the backend(s) that actually served the cell
+    are recorded in ``CellResult.engine``.
     """
     generator = GENERATORS[cell.generator]
     algorithm = ALGORITHMS[cell.algorithm]
+    mode = _effective_engine_mode(algorithm.engine, engine)
 
     start = time.perf_counter()
     graph = None
     if generator.build is not None:
         graph = generator.build(cell.n, cell.seed)
-    with MessageMeter() as meter:
+    with MessageMeter() as meter, EngineScope(mode) as scope:
         fields = algorithm.run(graph, generator, cell.n)
     wall_clock = time.perf_counter() - start
 
@@ -69,6 +88,7 @@ def run_cell(suite_name: str, cell: Cell) -> CellResult:
         verified=bool(fields["verified"]),
         k=fields.get("k"),
         extras=dict(fields.get("extras", {})),
+        engine=scope.engine_used,
     )
 
 
@@ -115,6 +135,7 @@ class SweepRunner:
         seeds: tuple[int, ...] | None = None,
         shard: ShardSpec | None = None,
         sinks: Sequence[Callable[[CellResult], None]] = (),
+        engine: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
@@ -126,6 +147,7 @@ class SweepRunner:
         self.seeds = seeds
         self.shard = shard
         self.sinks = tuple(sinks)
+        self.engine = engine
 
     def pending_cells(self) -> tuple[list[Cell], int]:
         """The cells still to run, and how many the store already covers.
@@ -176,13 +198,13 @@ class SweepRunner:
         if self.jobs == 1 or len(pending) <= 1:
             for cell in pending:
                 try:
-                    record(run_cell(self.suite.name, cell))
+                    record(run_cell(self.suite.name, cell, engine=self.engine))
                 except Exception as error:  # noqa: BLE001 - collected, reported
                     report.failures.append(CellFailure(cell, repr(error)))
         else:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {
-                    pool.submit(run_cell, self.suite.name, cell): cell
+                    pool.submit(run_cell, self.suite.name, cell, self.engine): cell
                     for cell in pending
                 }
                 remaining = set(futures)

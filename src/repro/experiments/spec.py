@@ -285,6 +285,14 @@ class AlgorithmFamily:
     names the entries of :mod:`repro.baselines` ``__all__`` the family
     exercises — the registry-completeness test checks every registered
     baseline is covered by some suite.
+
+    ``engine`` is the family's capability flag / preference for the
+    simulation backend: ``"vectorized"`` declares that the family's whole
+    measured path is array-kernel capable and should run on the
+    vectorized engine (:mod:`repro.local.vectorized`) by default;
+    ``"auto"`` (the default) lets each inner run pick per-algorithm.  A
+    CLI ``--engine`` override beats the family preference; results are
+    bit-identical either way.
     """
 
     name: str
@@ -295,6 +303,7 @@ class AlgorithmFamily:
     run: Callable[[nx.Graph | None, GeneratorFamily, int], dict]
     covers: tuple[str, ...] = ()
     requires_forest: bool = False
+    engine: str = "auto"
 
     def compatible_with(self, generator: GeneratorFamily) -> str | None:
         """``None`` if the pairing is valid, else a human-readable reason."""
@@ -593,6 +602,7 @@ register_algorithm(AlgorithmFamily(
     kind="baseline",
     run=_run_baseline_linial,
     covers=("linial_coloring",),
+    engine="vectorized",
 ))
 register_algorithm(AlgorithmFamily(
     name="baseline-forest-3coloring",
@@ -601,6 +611,7 @@ register_algorithm(AlgorithmFamily(
     run=_run_baseline_forest_three,
     covers=("color_forest_three",),
     requires_forest=True,
+    engine="vectorized",
 ))
 register_algorithm(AlgorithmFamily(
     name="predicted-edge-coloring-log12",
@@ -1007,6 +1018,26 @@ register_suite(Suite(
             sizes=(100, 200, 400, 800, 1600),
             seeds=(1, 2, 3),
             smoke_sizes=(50, 100),
+        ),
+        # Sizes only reachable on the vectorized backend: the interpreted
+        # engine takes minutes per cell from n ≈ 10⁵, the array kernels
+        # milliseconds.  Smoke keeps one such size so CI exercises the
+        # backend at a scale the interpreted engine could not smoke.
+        ScenarioSpec(
+            name="linial/large-vectorized",
+            generator="random-tree",
+            algorithm="baseline-linial",
+            sizes=(50_000, 200_000, 1_000_000),
+            seeds=(1,),
+            smoke_sizes=(20_000,),
+        ),
+        ScenarioSpec(
+            name="forest-3coloring/large-vectorized",
+            generator="random-tree",
+            algorithm="baseline-forest-3coloring",
+            sizes=(50_000, 200_000, 1_000_000),
+            seeds=(1,),
+            smoke_sizes=(20_000,),
         ),
     ),
 ))

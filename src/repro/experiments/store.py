@@ -79,6 +79,12 @@ class CellResult:
     #: ran without a cost model, including every pre-charging record.
     charged_rounds: float | None = None
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Which simulation backend(s) actually served the cell —
+    #: "vectorized", "interpreted", "mixed", or ``None`` for cells that
+    #: ran no engine at all (analytic cells) and every pre-engine record.
+    #: Provenance only: results are bit-identical across backends, so the
+    #: field is nonsemantic for merge conflicts.
+    engine: str | None = None
 
     def to_record(self) -> dict[str, Any]:
         """The JSON-serialisable record written to the store."""
@@ -97,6 +103,7 @@ class CellResult:
             "verified": self.verified,
             "k": self.k,
             "extras": self.extras,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -116,6 +123,7 @@ class CellResult:
             verified=bool(record["verified"]),
             k=record.get("k"),
             extras=dict(record.get("extras", {})),
+            engine=record.get("engine"),
         )
 
 
@@ -217,10 +225,11 @@ class ResultStore:
 # ----------------------------------------------------------------------
 
 #: Record fields ignored when deciding whether two records for the same
-#: fingerprint *conflict*.  Wall clock is nondeterministic timing, and the
+#: fingerprint *conflict*.  Wall clock is nondeterministic timing, the
 #: suite/scenario labels are cosmetic groupings (the same cell may be run
-#: under different suites); neither makes two records different results.
-NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario")
+#: under different suites), and the engine is execution provenance over
+#: bit-identical backends; none makes two records different results.
+NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario", "engine")
 
 
 def semantic_payload(record: dict[str, Any]) -> dict[str, Any]:

@@ -15,6 +15,11 @@ This package provides:
   with the decomposition hot loops,
 * :class:`SynchronousAlgorithm` — the per-node state machine interface,
 * :func:`run_synchronous` — the active-set round-by-round simulator,
+* :func:`run_vectorized` — the NumPy array backend executing whole-network
+  rounds for kernel-capable baselines, bit-identical to the interpreted
+  engine (:mod:`repro.local.vectorized`),
+* :class:`EngineScope` / :func:`select_engine` — ambient engine policy
+  (``auto`` / ``interpreted`` / ``vectorized``) and per-algorithm dispatch,
 * :func:`run_synchronous_reference` — the seed engine, kept as the
   equivalence oracle and benchmark baseline, and
 * :class:`RoundLedger` — explicit round accounting for the orchestrated
@@ -25,11 +30,20 @@ This package provides:
 from repro.local.csr import CSRAdjacency
 from repro.local.network import Network
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
+from repro.local.engine import ENGINE_MODES, EngineScope, current_engine_mode
 from repro.local.simulator import (
     MessageMeter,
     RunResult,
     run_synchronous,
     run_synchronous_reference,
+)
+from repro.local.vectorized import (
+    EngineUnavailable,
+    numpy_available,
+    run_vectorized,
+    select_engine,
+    supports_vectorized,
+    use_vectorized,
 )
 from repro.local.rounds import RoundLedger
 
@@ -40,7 +54,16 @@ __all__ = [
     "SynchronousAlgorithm",
     "MessageMeter",
     "RunResult",
+    "ENGINE_MODES",
+    "EngineScope",
+    "EngineUnavailable",
+    "current_engine_mode",
+    "numpy_available",
     "run_synchronous",
     "run_synchronous_reference",
+    "run_vectorized",
+    "select_engine",
+    "supports_vectorized",
+    "use_vectorized",
     "RoundLedger",
 ]

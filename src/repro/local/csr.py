@@ -28,7 +28,7 @@ import networkx as nx
 class CSRAdjacency:
     """An immutable int-indexed adjacency built once from a graph."""
 
-    __slots__ = ("nodes", "index", "offsets", "targets")
+    __slots__ = ("nodes", "index", "offsets", "targets", "_array_cache")
 
     def __init__(
         self,
@@ -41,6 +41,7 @@ class CSRAdjacency:
         self.index = index
         self.offsets = offsets
         self.targets = targets
+        self._array_cache = None
 
     @classmethod
     def from_graph(
@@ -99,6 +100,28 @@ class CSRAdjacency:
         """All degrees, indexed like ``nodes``."""
         offsets = self.offsets
         return [offsets[i + 1] - offsets[i] for i in range(len(self.nodes))]
+
+    def array_layout(self):
+        """The adjacency as NumPy arrays ``(indptr, indices, edge_sources)``.
+
+        ``indptr``/``indices`` mirror ``offsets``/``targets``;
+        ``edge_sources[e]`` is the source index of directed edge slot ``e``
+        (i.e. ``indices[e]`` is a neighbour of ``edge_sources[e]``).  Built
+        on first use and cached — the adjacency is immutable — so repeated
+        vectorized rounds pay the list-to-array conversion once.  Requires
+        numpy; callers gate on :func:`repro.local.vectorized.numpy_available`.
+        """
+        if self._array_cache is None:
+            import numpy
+
+            indptr = numpy.asarray(self.offsets, dtype=numpy.int64)
+            indices = numpy.asarray(self.targets, dtype=numpy.int64)
+            degrees = indptr[1:] - indptr[:-1]
+            edge_sources = numpy.repeat(
+                numpy.arange(len(self.nodes), dtype=numpy.int64), degrees
+            )
+            self._array_cache = (indptr, indices, edge_sources)
+        return self._array_cache
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSRAdjacency(n={len(self.nodes)}, m={len(self.targets) // 2})"

@@ -1,0 +1,119 @@
+"""Ambient engine selection for the synchronous simulator.
+
+Two engines can execute a structured-message baseline: the interpreted
+active-set engine (:func:`repro.local.simulator.run_synchronous`, one
+Python callable dispatch per node per round) and the vectorized array
+backend (:func:`repro.local.vectorized.run_vectorized`, one NumPy kernel
+per round over whole-network state arrays).  Which one runs is a
+*policy* decision that has to reach call sites buried many layers deep —
+``deg_plus_one_coloring`` calls ``linial_coloring`` calls the engine —
+so the choice travels the same way message accounting does
+(:class:`~repro.local.simulator.MessageMeter`): as an ambient scope
+rather than a parameter threaded through every signature::
+
+    with EngineScope("vectorized"):
+        colours, palette, rounds = linial_coloring(graph)
+    # every kernel-capable run inside used the array backend
+
+Modes
+-----
+``auto``
+    Use the vectorized backend wherever a kernel exists and numpy is
+    importable; fall back to the interpreted engine otherwise.  This is
+    the default (also with no scope active at all).
+``interpreted``
+    Always use the interpreted engine.
+``vectorized``
+    Require the array backend; a kernel-capable call site raises
+    :class:`~repro.local.vectorized.EngineUnavailable` when numpy is
+    missing or the algorithm has no kernel.
+
+The scope also records which backends actually served work inside it
+(``vectorized_runs`` / ``interpreted_runs``), which is how the
+experiment runner stamps the ``engine`` provenance field onto each
+stored :class:`~repro.experiments.store.CellResult`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ENGINE_MODES",
+    "EngineScope",
+    "current_engine_mode",
+    "resolve_engine_mode",
+    "note_engine_use",
+]
+
+#: The valid engine-selection modes, in CLI/`--engine` spelling.
+ENGINE_MODES = ("auto", "interpreted", "vectorized")
+
+# Scopes currently in effect; the innermost decides the mode, every one
+# in scope observes usage.  Per-process state, like the meter stack:
+# forked sweep workers each scope their own cells.
+_ENGINE_STACK: list["EngineScope"] = []
+
+
+class EngineScope:
+    """Ambient engine choice plus a usage account for everything inside."""
+
+    def __init__(self, mode: str = "auto") -> None:
+        if mode not in ENGINE_MODES:
+            raise ValueError(
+                f"unknown engine mode {mode!r} (expected one of {ENGINE_MODES})"
+            )
+        self.mode = mode
+        self.vectorized_runs = 0
+        self.interpreted_runs = 0
+
+    def __enter__(self) -> "EngineScope":
+        _ENGINE_STACK.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _ENGINE_STACK.remove(self)
+        return False
+
+    @property
+    def engine_used(self) -> str | None:
+        """Which backend(s) served work inside the scope.
+
+        ``"vectorized"`` / ``"interpreted"`` when exactly one did,
+        ``"mixed"`` when both did (e.g. a transform whose peeling and
+        forest colourings ran on arrays while an adapter baseline ran
+        interpreted), ``None`` when no engine ran at all (analytic
+        cells).
+        """
+        if self.vectorized_runs and self.interpreted_runs:
+            return "mixed"
+        if self.vectorized_runs:
+            return "vectorized"
+        if self.interpreted_runs:
+            return "interpreted"
+        return None
+
+
+def current_engine_mode() -> str:
+    """The innermost scope's mode, or ``"auto"`` with no scope active."""
+    return _ENGINE_STACK[-1].mode if _ENGINE_STACK else "auto"
+
+
+def resolve_engine_mode(engine: str | None = None) -> str:
+    """An explicit ``engine`` argument, validated; else the ambient mode."""
+    if engine is None:
+        return current_engine_mode()
+    if engine not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine mode {engine!r} (expected one of {ENGINE_MODES})"
+        )
+    return engine
+
+
+def note_engine_use(kind: str) -> None:
+    """Record that one unit of work ran on backend ``kind`` ("vectorized"
+    or "interpreted"); every scope currently in effect observes it."""
+    if kind == "vectorized":
+        for scope in _ENGINE_STACK:
+            scope.vectorized_runs += 1
+    else:
+        for scope in _ENGINE_STACK:
+            scope.interpreted_runs += 1

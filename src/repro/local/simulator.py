@@ -40,6 +40,7 @@ from types import MappingProxyType
 from typing import Any, Hashable
 
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
+from repro.local.engine import note_engine_use
 from repro.local.network import Network
 
 
@@ -200,6 +201,7 @@ def run_synchronous(
         active = still_active
 
     outputs = {node: algorithm.output(states[node], ctx) for node, ctx in contexts.items()}
+    note_engine_use("interpreted")
     return _report_to_meters(RunResult(
         algorithm=algorithm.name,
         rounds=rounds,

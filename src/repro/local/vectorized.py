@@ -1,0 +1,359 @@
+"""Vectorized array engine: whole-network rounds as NumPy operations.
+
+The interpreted engine (:func:`repro.local.simulator.run_synchronous`)
+dispatches one Python callable per node per round, which caps every
+suite at n ≈ 10⁴ on wall-clock alone.  For *structured-message*
+baselines — algorithms whose per-round behaviour is a fixed arithmetic
+function of the node's colour and its neighbours' colours — the whole
+round can instead run as a handful of array operations over flat
+per-node state (colours, parent pointers, active masks) indexed by the
+existing CSR layout (:meth:`repro.local.csr.CSRAdjacency.array_layout`):
+neighbour gathers via ``indptr``/``indices``, segment reductions via
+prefix sums, and bit manipulation for the Linial / Cole–Vishkin colour
+reductions.
+
+The contract is **bit-identity**: :func:`run_vectorized` must return a
+:class:`~repro.local.simulator.RunResult` whose ``rounds``,
+``messages_sent``, ``outputs`` and metered account are exactly what
+:func:`run_synchronous` produces for the same network and algorithm —
+including raising the same exceptions with the same messages.  The
+equivalence suite (``tests/test_engine_equivalence.py`` and the
+property tests) pins this on every opted-in baseline.
+
+Algorithms opt in through a kernel registry keyed by algorithm type;
+:func:`supports_vectorized` reports capability and
+:func:`select_engine` resolves the ambient/explicit engine mode
+(:mod:`repro.local.engine`) to a runner, falling back to the
+interpreted engine for everything without a kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+try:  # numpy is a declared dependency, but the engine degrades gracefully
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    np = None
+
+from repro.local.engine import note_engine_use, resolve_engine_mode
+from repro.local.network import Network
+from repro.local.simulator import (
+    RunResult,
+    SynchronousAlgorithm,
+    _report_to_meters,
+    run_synchronous,
+)
+
+__all__ = [
+    "EngineUnavailable",
+    "numpy_available",
+    "register_kernel",
+    "supports_vectorized",
+    "run_vectorized",
+    "select_engine",
+    "use_vectorized",
+]
+
+
+class EngineUnavailable(RuntimeError):
+    """The vectorized engine was explicitly requested but cannot serve."""
+
+
+def numpy_available() -> bool:
+    return np is not None
+
+
+# Kernels keyed by algorithm type.  A kernel takes ``(network, algorithm,
+# max_rounds)`` and returns ``(rounds, messages_sent, outputs)``; built-in
+# kernels are registered lazily to avoid a local ↔ baselines import cycle.
+_KERNELS: dict[type, Callable] = {}
+_BUILTINS_LOADED = False
+
+
+def register_kernel(algorithm_type: type):
+    """Class decorator-style hook mapping an algorithm type to a kernel."""
+
+    def decorate(kernel: Callable) -> Callable:
+        _KERNELS[algorithm_type] = kernel
+        return kernel
+
+    return decorate
+
+
+def _ensure_builtin_kernels() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from repro.baselines.forest_coloring import ForestThreeColoring
+    from repro.baselines.linial import LinialColoring
+
+    _KERNELS.setdefault(LinialColoring, _linial_kernel)
+    _KERNELS.setdefault(ForestThreeColoring, _forest_kernel)
+    _BUILTINS_LOADED = True
+
+
+def supports_vectorized(algorithm: SynchronousAlgorithm) -> bool:
+    """Whether ``algorithm`` has a registered array kernel."""
+    _ensure_builtin_kernels()
+    return type(algorithm) in _KERNELS
+
+
+# ----------------------------------------------------------------------
+# array primitives
+# ----------------------------------------------------------------------
+def _segment_sum(values, indptr):
+    """Per-node sums of per-edge ``values`` under the CSR ``indptr``.
+
+    Prefix sums rather than ``np.add.reduceat`` — reduceat silently
+    misreads empty segments (degree-0 nodes), prefix differences are
+    exact everywhere.
+    """
+    prefix = np.zeros(values.shape[0] + 1, dtype=np.int64)
+    np.cumsum(values, dtype=np.int64, out=prefix[1:])
+    return prefix[indptr[1:]] - prefix[indptr[:-1]]
+
+
+def _identifier_array(network: Network):
+    """Node identifiers as an int64 array in CSR index order (cached)."""
+    cached = getattr(network, "_identifier_array", None)
+    if cached is None:
+        identifiers = network.identifiers
+        cached = np.fromiter(
+            (identifiers[node] for node in network.csr.nodes),
+            dtype=np.int64,
+            count=network.csr.num_nodes,
+        )
+        network._identifier_array = cached
+    return cached
+
+
+def _round_cap(network: Network, max_rounds: int | None) -> int:
+    # Mirrors run_synchronous's default cap so the upfront check below
+    # raises exactly when the interpreted loop would.
+    return max_rounds if max_rounds is not None else 4 * network.num_nodes + 64
+
+
+def _check_round_cap(algorithm, total_rounds: int, cap: int) -> None:
+    # The interpreted engine raises at the top of round ``cap`` when the
+    # algorithm has not terminated; with a schedule known upfront, that is
+    # exactly ``total_rounds > cap``.
+    if total_rounds > cap:
+        raise RuntimeError(
+            f"{algorithm.name} exceeded the round cap of {cap} rounds"
+        )
+
+
+# ----------------------------------------------------------------------
+# kernels
+# ----------------------------------------------------------------------
+def _linial_kernel(network: Network, algorithm, max_rounds: int | None):
+    """Linial colour reduction, one array pass per scheduled round.
+
+    State is one colour per node; a round with field parameters
+    ``(q, degree)`` encodes colours as degree-``degree`` polynomials over
+    ``GF(q)`` (a digit matrix), evaluates all of them at every
+    ``x ∈ [0, q)`` at once, and picks each node's first evaluation point
+    uncontested by its differently-coloured neighbours.  Conflicts are
+    tested one ``x``-column at a time so peak memory stays at O(E) —
+    an (E, q) conflict matrix would be hundreds of MB at n = 10⁶.
+    """
+    from repro.baselines.linial import reduction_schedule
+
+    n = network.csr.num_nodes
+    if n == 0:
+        return 0, 0, {}
+    schedule, _ = reduction_schedule(network.max_identifier + 1, network.max_degree)
+    total_rounds = len(schedule)
+    _check_round_cap(algorithm, total_rounds, _round_cap(network, max_rounds))
+
+    indptr, indices, edge_sources = network.csr.array_layout()
+    colours = _identifier_array(network).copy()
+    node_range = np.arange(n, dtype=np.int64)
+
+    for q, degree, _ in schedule:
+        width = degree + 1
+        # digits[i, j] = j-th base-q digit of node i's colour.
+        digits = np.empty((n, width), dtype=np.int64)
+        value = colours.copy()
+        for j in range(width):
+            digits[:, j] = value % q
+            value //= q
+        # powers[j, x] = x^j mod q  →  values[i, x] = P_i(x) mod q.
+        xs = np.arange(q, dtype=np.int64)
+        powers = np.empty((width, q), dtype=np.int64)
+        powers[0] = 1
+        for j in range(1, width):
+            powers[j] = (powers[j - 1] * xs) % q
+        values = (digits @ powers) % q
+
+        # A neighbour contests x only if its colour differs (linial_step
+        # skips same-coloured neighbours) and its polynomial agrees at x.
+        differing = colours[edge_sources] != colours[indices]
+        free = np.empty((n, q), dtype=bool)
+        for x in range(q):
+            column = values[:, x]
+            clashes = differing & (column[edge_sources] == column[indices])
+            free[:, x] = _segment_sum(clashes, indptr) == 0
+        if not free.any(axis=1).all():
+            raise RuntimeError(
+                "no free evaluation point found; the field parameters are inconsistent"
+            )
+        x_star = free.argmax(axis=1)
+        colours = x_star * q + values[node_range, x_star]
+
+    outputs = {
+        node: colour + 1
+        for node, colour in zip(network.csr.nodes, colours.tolist())
+    }
+    return total_rounds, total_rounds * len(indices), outputs
+
+
+def _forest_kernel(network: Network, algorithm, max_rounds: int | None):
+    """Cole–Vishkin forest 3-colouring as whole-forest bit manipulation.
+
+    Reduce rounds: every node's new colour is ``2·i + b`` where ``i`` is
+    the lowest bit position where it differs from its parent (roots use a
+    virtual parent ``colour ^ 1``).  Then six rounds alternate shift-down
+    (adopt the parent's colour; roots pick the least colour in {0, 1, 2}
+    different from their own) and recolouring of classes 5, 4, 3 down
+    into {0, 1, 2} using segment reductions over neighbour colours.
+    """
+    from repro.baselines.forest_coloring import reduction_iterations
+
+    n = network.csr.num_nodes
+    if n == 0:
+        return 0, 0, {}
+    reduce_rounds = reduction_iterations(network.max_identifier)
+    total_rounds = reduce_rounds + 6
+    _check_round_cap(algorithm, total_rounds, _round_cap(network, max_rounds))
+
+    indptr, indices, edge_sources = network.csr.array_layout()
+    csr = network.csr
+    node_index = csr.index
+    parents = np.full(n, -1, dtype=np.int64)
+    for node, parent in network.node_inputs.items():
+        if parent is not None:
+            parents[node_index[node]] = node_index[parent]
+    roots = parents < 0
+    parent_or_self = np.where(roots, np.arange(n, dtype=np.int64), parents)
+
+    colours = _identifier_array(network).copy()
+    for _ in range(reduce_rounds):
+        parent_colours = np.where(roots, colours ^ 1, colours[parent_or_self])
+        differing = colours ^ parent_colours
+        if not differing.all():
+            raise ValueError(
+                "adjacent nodes share a colour; the colouring is not proper"
+            )
+        low = differing & -differing
+        position = np.bitwise_count(low - 1).astype(np.int64)
+        colours = 2 * position + ((colours >> position) & 1)
+
+    for phase in range(1, 7):
+        if phase % 2 == 1:  # shift-down
+            root_colours = np.where(colours == 0, 1, 0)
+            colours = np.where(roots, root_colours, colours[parent_or_self])
+            continue
+        eliminated = {2: 5, 4: 4, 6: 3}[phase]
+        moving = colours == eliminated
+        neighbour_colours = colours[indices]
+        seen0 = _segment_sum(neighbour_colours == 0, indptr) > 0
+        seen1 = _segment_sum(neighbour_colours == 1, indptr) > 0
+        seen2 = _segment_sum(neighbour_colours == 2, indptr) > 0
+        if (moving & seen0 & seen1 & seen2).any():
+            # min() over an empty candidate set in the interpreted step.
+            raise ValueError(
+                "min() arg is an empty sequence"
+            )
+        replacement = np.where(~seen0, 0, np.where(~seen1, 1, 2))
+        colours = np.where(moving, replacement, colours)
+
+    outputs = {
+        node: colour + 1
+        for node, colour in zip(csr.nodes, colours.tolist())
+    }
+    return total_rounds, total_rounds * len(indices), outputs
+
+
+# ----------------------------------------------------------------------
+# engine entry points
+# ----------------------------------------------------------------------
+def run_vectorized(
+    network: Network,
+    algorithm: SynchronousAlgorithm,
+    max_rounds: int | None = None,
+) -> RunResult:
+    """Run ``algorithm`` on the array backend (bit-identical results).
+
+    Raises :class:`EngineUnavailable` when numpy is missing or the
+    algorithm has no registered kernel; use :func:`select_engine` to fall
+    back automatically.
+    """
+    if np is None:
+        raise EngineUnavailable(
+            "the vectorized engine requires numpy, which is not importable"
+        )
+    _ensure_builtin_kernels()
+    kernel = _KERNELS.get(type(algorithm))
+    if kernel is None:
+        raise EngineUnavailable(
+            f"{algorithm.name} has no vectorized kernel; "
+            f"run it with run_synchronous or engine='auto'"
+        )
+    rounds, messages_sent, outputs = kernel(network, algorithm, max_rounds)
+    note_engine_use("vectorized")
+    result = RunResult(
+        algorithm=algorithm.name,
+        rounds=rounds,
+        outputs=outputs,
+        messages_sent=messages_sent,
+    )
+    _report_to_meters(result)
+    return result
+
+
+def select_engine(
+    algorithm: SynchronousAlgorithm, engine: str | None = None
+) -> Callable[..., RunResult]:
+    """Resolve the engine mode for ``algorithm`` to a runner callable.
+
+    ``engine`` overrides the ambient :class:`~repro.local.engine.EngineScope`
+    mode; ``"auto"`` (the default) picks :func:`run_vectorized` exactly
+    when the algorithm has a kernel and numpy is importable.
+    """
+    mode = resolve_engine_mode(engine)
+    if mode == "interpreted":
+        return run_synchronous
+    if mode == "vectorized":
+        if np is None:
+            raise EngineUnavailable(
+                "the vectorized engine requires numpy, which is not importable"
+            )
+        if not supports_vectorized(algorithm):
+            raise EngineUnavailable(
+                f"{algorithm.name} has no vectorized kernel"
+            )
+        return run_vectorized
+    if numpy_available() and supports_vectorized(algorithm):
+        return run_vectorized
+    return run_synchronous
+
+
+def use_vectorized(engine: str | None = None) -> bool:
+    """Whether non-simulator array code (the decomposition peels) should
+    take its vectorized path under the resolved engine mode.
+
+    Explicit ``"vectorized"`` without numpy raises rather than silently
+    degrading; ``"auto"`` degrades.
+    """
+    mode = resolve_engine_mode(engine)
+    if mode == "interpreted":
+        return False
+    if mode == "vectorized":
+        if np is None:
+            raise EngineUnavailable(
+                "the vectorized engine requires numpy, which is not importable"
+            )
+        return True
+    return numpy_available()

@@ -189,6 +189,7 @@ class ServiceClient:
         shard: str | None = None,
         out: str | None = None,
         collector: str | None = None,
+        engine: str | None = None,
     ) -> str:
         """Enqueue a sweep job; returns the job id."""
         payload: dict[str, Any] = {"op": "submit", "suite": suite, "smoke": smoke}
@@ -202,6 +203,8 @@ class ServiceClient:
             payload["out"] = out
         if collector is not None:
             payload["collector"] = collector
+        if engine is not None:
+            payload["engine"] = engine
         return self.request(payload)["job"]
 
     def status(self, job: str | None = None) -> dict[str, Any]:

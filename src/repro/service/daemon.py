@@ -18,9 +18,10 @@ Verbs
 ``submit``
     Enqueue a sweep job: ``{"op": "submit", "suite": "paper-claims",
     "smoke": true, "shard": "0/2", "out": "experiments/results",
-    "collector": "host:port"}``.  Validation (suite name, shard spec,
-    collector endpoint) happens here, so a bad request fails fast at the
-    client instead of inside the queue.  With a ``collector``, every
+    "collector": "host:port", "engine": "vectorized"}``.  Validation
+    (suite name, shard spec, collector endpoint, engine mode) happens
+    here, so a bad request fails fast at the client instead of inside
+    the queue.  With a ``collector``, every
     stored record is also streamed to that result collector live.
 ``status``
     One job's state (``{"op": "status", "job": "job-1"}``) or, without a
@@ -53,6 +54,7 @@ from typing import Any
 from repro.experiments.report import report_payload
 from repro.experiments.spec import get_suite
 from repro.experiments.store import DEFAULT_OUT, ResultStore
+from repro.local import ENGINE_MODES
 from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.service.protocol import (
@@ -96,6 +98,7 @@ class Job:
     shard: str | None = None
     out: str = DEFAULT_OUT
     collector: str | None = None
+    engine: str | None = None
     state: str = "queued"  # queued | running | done | failed
     submitted_s: float = field(default_factory=time.time)
     started_s: float | None = None
@@ -121,6 +124,7 @@ class Job:
             "shard": self.shard,
             "out": self.out,
             "collector": self.collector,
+            "engine": self.engine,
             "state": self.state,
             "total_cells": self.total_cells,
             "skipped": self.skipped,
@@ -332,6 +336,7 @@ class SweepDaemon:
                 on_plan=on_plan,
                 on_failure=on_failure,
                 sinks=sinks,
+                engine=job.engine,
             )
             job.sink_error = report.sink_error
         except Exception as error:  # noqa: BLE001 - surfaced via status verb
@@ -399,6 +404,12 @@ class SweepDaemon:
                 parse_endpoint(str(collector))
             except ValueError as error:
                 return error_response(str(error))
+        engine = request.get("engine")
+        if engine is not None and engine not in ENGINE_MODES:
+            return error_response(
+                f"unknown engine {engine!r} "
+                f"(expected one of: {', '.join(ENGINE_MODES)})"
+            )
         sizes = request.get("sizes")
         seeds = request.get("seeds")
         with self._jobs_lock:
@@ -418,6 +429,7 @@ class SweepDaemon:
                 shard=str(shard) if shard is not None else None,
                 out=str(request.get("out") or DEFAULT_OUT),
                 collector=str(collector) if collector is not None else None,
+                engine=str(engine) if engine is not None else None,
             )
             self._jobs[job.id] = job
             self._job_queue.put(job.id)

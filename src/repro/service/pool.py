@@ -92,11 +92,11 @@ def _worker_main(tasks, results) -> None:
         task = tasks.get()
         if task is None:
             break
-        job_id, suite_name, batch_index, cells = task
+        job_id, suite_name, engine, batch_index, cells = task
         outcomes = []
         for cell in cells:
             try:
-                outcomes.append((cell, run_cell(suite_name, cell), None))
+                outcomes.append((cell, run_cell(suite_name, cell, engine=engine), None))
             except Exception as error:  # noqa: BLE001 - reported to the caller
                 outcomes.append((cell, None, repr(error)))
         results.put((job_id, batch_index, outcomes))
@@ -209,14 +209,15 @@ class WorkerPool:
     # sweep execution
     # ------------------------------------------------------------------
     def submit_sweep(
-        self, suite_name: str, cells: Sequence[Cell]
+        self, suite_name: str, cells: Sequence[Cell], engine: str | None = None
     ) -> Iterator[CellOutcome]:
         """Run ``cells`` on the warm workers, streaming per-cell outcomes.
 
         Cells are shipped in batches of ``self.batch_size``; outcomes
         arrive grouped by batch, in batch completion order.  The iterator
         must be consumed fully — it holds the pool's sweep lock, and the
-        stream *is* the progress signal.
+        stream *is* the progress signal.  ``engine`` is the sweep-level
+        backend override forwarded to every cell.
         """
         cells = list(cells)
         job_id = next(self._job_ids)
@@ -229,7 +230,7 @@ class WorkerPool:
                 # flight would swap the queues out from under it.
                 self.start()
                 for index, batch in enumerate(batches):
-                    self._tasks.put((job_id, suite_name, index, batch))
+                    self._tasks.put((job_id, suite_name, engine, index, batch))
                 remaining = len(batches)
                 while remaining:
                     try:
@@ -293,6 +294,7 @@ class WorkerPool:
         on_plan: Callable[[int, int], None] | None = None,
         on_failure: Callable[[Cell, str], None] | None = None,
         sinks: Sequence[Callable[[CellResult], None]] = (),
+        engine: str | None = None,
     ) -> SweepReport:
         """Run a suite's pending cells through the pool.
 
@@ -324,7 +326,7 @@ class WorkerPool:
             unverified=0,
         )
         live_sinks = list(sinks)
-        for outcome in self.submit_sweep(suite.name, pending):
+        for outcome in self.submit_sweep(suite.name, pending, engine=engine):
             if outcome.error is not None:
                 report.failures.append(CellFailure(outcome.cell, outcome.error))
                 if on_failure is not None:

@@ -9,6 +9,12 @@ seeded instance — once through the active-set / CSR engine
 The CSR rewrites of the decomposition processes are cross-checked the
 same way, against naive dict-of-set reimplementations of the seed
 peeling loops kept inside this module.
+
+The vectorized NumPy backend (:func:`run_vectorized`) is pinned
+three-ways on every kernel-capable scenario — vectorized vs. fast vs.
+seed engine, including :class:`MessageMeter` accounting — and the array
+peeling variants of the decomposition processes are pinned field-by-field
+against their interpreted counterparts.
 """
 
 import networkx as nx
@@ -26,7 +32,17 @@ from repro.generators import (
     random_graph_with_max_degree,
     random_tree,
 )
-from repro.local import Network, run_synchronous, run_synchronous_reference
+from repro.local import (
+    EngineScope,
+    EngineUnavailable,
+    MessageMeter,
+    Network,
+    run_synchronous,
+    run_synchronous_reference,
+    run_vectorized,
+    select_engine,
+    supports_vectorized,
+)
 
 
 
@@ -100,6 +116,81 @@ def test_fast_engine_matches_reference(label, network, algorithm, max_rounds):
     assert fast.rounds == reference.rounds
     assert fast.messages_sent == reference.messages_sent
     assert fast.outputs == reference.outputs
+
+
+# ----------------------------------------------------------------------
+# vectorized backend: three-way equivalence on kernel-capable scenarios
+# ----------------------------------------------------------------------
+def _vectorized_networks():
+    """The kernel-capable subset of :func:`_networks`."""
+    return [
+        scenario for scenario in _networks() if supports_vectorized(scenario[2])
+    ]
+
+
+@pytest.mark.parametrize(
+    "label, network, algorithm, max_rounds",
+    _vectorized_networks(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_vectorized_engine_matches_both(label, network, algorithm, max_rounds):
+    with MessageMeter() as vectorized_meter:
+        vectorized = run_vectorized(network, algorithm, max_rounds=max_rounds)
+    with MessageMeter() as fast_meter:
+        fast = run_synchronous(network, algorithm, max_rounds=max_rounds)
+    reference = run_synchronous_reference(network, algorithm, max_rounds=max_rounds)
+    assert vectorized.rounds == fast.rounds == reference.rounds
+    assert vectorized.messages_sent == fast.messages_sent == reference.messages_sent
+    assert vectorized.outputs == fast.outputs == reference.outputs
+    assert vectorized_meter.messages == fast_meter.messages
+    assert vectorized_meter.runs == fast_meter.runs
+
+
+def test_every_kernel_capable_baseline_is_covered():
+    """The vectorized backend claims exactly Linial + forest 3-colouring."""
+    assert supports_vectorized(LinialColoring())
+    assert supports_vectorized(ForestThreeColoring())
+    assert not supports_vectorized(ColorClassMIS())
+    assert not supports_vectorized(ColorClassReduction())
+
+
+def test_select_engine_routes_by_mode_and_capability():
+    capable, incapable = LinialColoring(), ColorClassMIS()
+    assert select_engine(capable, "auto") is run_vectorized
+    assert select_engine(capable, "vectorized") is run_vectorized
+    assert select_engine(capable, "interpreted") is run_synchronous
+    assert select_engine(incapable, "auto") is run_synchronous
+    with pytest.raises(EngineUnavailable):
+        select_engine(incapable, "vectorized")
+
+
+def test_engine_scope_records_backend_provenance():
+    tree = random_tree(30, seed=1)
+    with EngineScope("auto") as scope:
+        run_vectorized(Network(tree), LinialColoring())
+    assert scope.engine_used == "vectorized"
+    with EngineScope("interpreted") as scope:
+        run_synchronous(Network(tree), LinialColoring())
+    assert scope.engine_used == "interpreted"
+    with EngineScope("auto") as scope:
+        run_vectorized(Network(tree), LinialColoring())
+        run_synchronous(Network(tree), LinialColoring())
+    assert scope.engine_used == "mixed"
+
+
+def test_baseline_entry_points_accept_engine_override():
+    from repro.baselines.forest_coloring import color_forest_three
+    from repro.baselines.linial import linial_coloring
+
+    tree = random_tree(40, seed=7)
+    parents = bfs_forest_parents(tree)
+    for engine in (None, "auto", "interpreted", "vectorized"):
+        assert linial_coloring(tree, engine=engine) == linial_coloring(
+            tree, engine="interpreted"
+        )
+        assert color_forest_three(tree, parents, engine=engine) == color_forest_three(
+            tree, parents, engine="interpreted"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -197,3 +288,44 @@ def test_arboricity_layers_match_naive(n, a, seed):
     k, b = 5 * a, 2 * a
     decomposition = arboricity_decomposition(graph, arboricity=a, k=k)
     assert decomposition.layers == _naive_arboricity_layers(graph, k, b)
+
+
+# ----------------------------------------------------------------------
+# vectorized peeling variants vs. the interpreted CSR loops
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n, k, seed", [(60, 3, 1), (150, 5, 2), (300, 8, 3)])
+def test_rake_compress_vectorized_matches_interpreted(n, k, seed):
+    tree = random_tree(n, seed=seed)
+    vectorized = rake_and_compress(tree, k=k, engine="vectorized")
+    interpreted = rake_and_compress(tree, k=k, engine="interpreted")
+    assert vectorized.layers == interpreted.layers
+    assert vectorized.node_layer == interpreted.node_layer
+    assert vectorized.iterations == interpreted.iterations
+    assert vectorized.rounds == interpreted.rounds
+    assert (
+        vectorized.theoretical_iteration_bound
+        == interpreted.theoretical_iteration_bound
+    )
+    assert vectorized.identifiers == interpreted.identifiers
+
+
+@pytest.mark.parametrize("n, a, seed", [(80, 2, 4), (200, 3, 5)])
+def test_arboricity_vectorized_matches_interpreted(n, a, seed):
+    graph = forest_union(n, arboricity=a, seed=seed)
+    vectorized = arboricity_decomposition(
+        graph, arboricity=a, k=5 * a, engine="vectorized"
+    )
+    interpreted = arboricity_decomposition(
+        graph, arboricity=a, k=5 * a, engine="interpreted"
+    )
+    assert vectorized.layers == interpreted.layers
+    assert vectorized.node_iteration == interpreted.node_iteration
+    assert vectorized.iterations == interpreted.iterations
+    assert vectorized.degree_snapshots == interpreted.degree_snapshots
+    assert vectorized.typical_edges == interpreted.typical_edges
+    assert vectorized.atypical_edges == interpreted.atypical_edges
+    assert vectorized.forests == interpreted.forests
+    assert vectorized.forest_colorings == interpreted.forest_colorings
+    assert vectorized.star_collections == interpreted.star_collections
+    assert vectorized.forest_coloring_rounds == interpreted.forest_coloring_rounds
+    assert vectorized.rounds == interpreted.rounds

@@ -166,3 +166,63 @@ class TestFailures:
         assert "boom" in report.failures[0].error
         assert report.executed == 1  # the healthy cell still ran and stored
         assert len(store) == 1
+
+
+class TestEngineProvenance:
+    ENGINE_SUITE = Suite(
+        name="engine-tiny",
+        description="test suite: a kernel-capable baseline and a transform",
+        scenarios=(
+            ScenarioSpec(
+                name="linial/tree", generator="random-tree",
+                algorithm="baseline-linial", sizes=(40,), seeds=(1,),
+            ),
+            ScenarioSpec(
+                name="mis/tree", generator="random-tree",
+                algorithm="tree-mis", sizes=(24,), seeds=(1,),
+            ),
+        ),
+    )
+
+    def test_auto_mode_records_backend_per_family(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = SweepRunner(self.ENGINE_SUITE, store, jobs=1).run()
+        assert report.ok
+        by_scenario = {result.scenario: result for result in store.results()}
+        assert by_scenario["linial/tree"].engine == "vectorized"
+        assert by_scenario["mis/tree"].engine is not None
+
+    def test_interpreted_override_forces_interpreted_everywhere(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = SweepRunner(
+            self.ENGINE_SUITE, store, jobs=1, engine="interpreted"
+        ).run()
+        assert report.ok
+        assert all(result.engine == "interpreted" for result in store.results())
+
+    def test_semantic_payload_identical_across_engines(self, tmp_path):
+        from repro.experiments.store import NONSEMANTIC_FIELDS
+
+        payloads = []
+        for engine in ("auto", "interpreted"):
+            store = ResultStore(tmp_path / engine)
+            SweepRunner(self.ENGINE_SUITE, store, jobs=1, engine=engine).run()
+            payloads.append([
+                {
+                    key: value
+                    for key, value in record.items()
+                    if key not in NONSEMANTIC_FIELDS
+                }
+                for record in sorted(
+                    store.records(), key=lambda r: r["fingerprint"]
+                )
+            ])
+        assert payloads[0] == payloads[1]
+
+    def test_effective_engine_mode_precedence(self):
+        from repro.experiments.runner import _effective_engine_mode
+
+        assert _effective_engine_mode("auto", None) == "auto"
+        assert _effective_engine_mode("vectorized", None) == "vectorized"
+        assert _effective_engine_mode("vectorized", "interpreted") == "interpreted"
+        assert _effective_engine_mode("auto", "vectorized") == "vectorized"

@@ -91,6 +91,26 @@ class TestVerbs:
         with pytest.raises(ServiceError, match="shard"):
             client.submit("paper-claims", shard="2/2")
 
+    def test_submit_bad_engine_fails_fast(self, client):
+        with pytest.raises(ServiceError, match="unknown engine"):
+            client.submit("paper-claims", engine="warp")
+
+    def test_submit_with_engine_threads_through_to_records(self, client, tmp_path):
+        out = tmp_path / "store"
+        job = client.submit(
+            "paper-claims", smoke=True, out=str(out), engine="interpreted"
+        )
+        status = client.wait(job, timeout=120)
+        assert status["state"] == "done"
+        assert status["engine"] == "interpreted"
+        records = client.results(job)
+        assert records
+        # analytic prediction cells run no engine at all (engine None);
+        # every measured cell must carry the forced backend
+        measured = [r for r in records if r["engine"] is not None]
+        assert measured
+        assert all(record["engine"] == "interpreted" for record in measured)
+
     def test_unknown_job_and_unknown_op(self, client):
         with pytest.raises(ServiceError, match="unknown job"):
             client.status("job-999")

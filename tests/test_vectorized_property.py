@@ -1,0 +1,106 @@
+"""Property-style equivalence of the vectorized backend across instance
+families.
+
+Seeded random trees and bounded-degree graphs, swept over sizes and
+seeds, are run three ways — vectorized array kernels, the interpreted
+active-set engine and the preserved seed engine — and every observable
+must agree exactly: per-node labelings, round counts and message counts,
+both in the :class:`RunResult` and through :class:`MessageMeter`
+accounting.  This is the bit-identical contract that lets ``auto`` mode
+pick the backend per algorithm without changing any stored result.
+"""
+
+import pytest
+
+from repro.baselines.forest_coloring import ForestThreeColoring
+from repro.baselines.linial import LinialColoring
+from repro.decomposition import arboricity_decomposition, rake_and_compress
+from repro.generators import (
+    bfs_forest_parents,
+    forest_union,
+    random_graph_with_max_degree,
+    random_tree,
+)
+from repro.local import (
+    MessageMeter,
+    Network,
+    numpy_available,
+    run_synchronous,
+    run_synchronous_reference,
+    run_vectorized,
+)
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy is required for the vectorized backend"
+)
+
+#: (n, seed) sweep of the property tests.  n=2500 is large enough that
+#: the Linial schedule has real reduction rounds (not just the trivial
+#: identifier round), so both code paths of the kernel are exercised.
+TREE_CASES = [(50, 1), (50, 2), (200, 3), (200, 4), (800, 5), (2500, 6)]
+GRAPH_CASES = [(60, 5, 1), (200, 6, 2), (700, 4, 3)]
+
+
+def _three_way(network, algorithm_factory):
+    """Run all three engines; return their (result, messages) pairs."""
+    outcomes = []
+    for runner in (run_vectorized, run_synchronous, run_synchronous_reference):
+        with MessageMeter() as meter:
+            result = runner(network, algorithm_factory())
+        outcomes.append((result, meter.messages))
+    return outcomes
+
+
+def _assert_identical(outcomes):
+    (vec, vec_msgs), (fast, fast_msgs), (ref, ref_msgs) = outcomes
+    assert vec.rounds == fast.rounds == ref.rounds
+    assert vec.messages_sent == fast.messages_sent == ref.messages_sent
+    assert vec.outputs == fast.outputs == ref.outputs
+    assert vec_msgs == fast_msgs == ref_msgs
+
+
+@pytest.mark.parametrize("n, seed", TREE_CASES)
+def test_linial_three_way_on_random_trees(n, seed):
+    network = Network(random_tree(n, seed=seed))
+    _assert_identical(_three_way(network, LinialColoring))
+
+
+@pytest.mark.parametrize("n, max_degree, seed", GRAPH_CASES)
+def test_linial_three_way_on_bounded_degree_graphs(n, max_degree, seed):
+    network = Network(random_graph_with_max_degree(n, max_degree, seed=seed))
+    _assert_identical(_three_way(network, LinialColoring))
+
+
+@pytest.mark.parametrize("n, seed", TREE_CASES)
+def test_forest_three_coloring_three_way_on_random_trees(n, seed):
+    tree = random_tree(n, seed=seed)
+    network = Network(tree, node_inputs=bfs_forest_parents(tree))
+    outcomes = _three_way(network, ForestThreeColoring)
+    _assert_identical(outcomes)
+    assert len(set(outcomes[0][0].outputs.values())) <= 3
+
+
+@pytest.mark.parametrize("n, k, seed", [(100, 3, 1), (400, 6, 2), (1500, 8, 3)])
+def test_rake_compress_peel_property(n, k, seed):
+    tree = random_tree(n, seed=seed)
+    vectorized = rake_and_compress(tree, k=k, engine="vectorized")
+    interpreted = rake_and_compress(tree, k=k, engine="interpreted")
+    assert vectorized.layers == interpreted.layers
+    assert vectorized.node_layer == interpreted.node_layer
+    assert vectorized.rounds == interpreted.rounds
+
+
+@pytest.mark.parametrize("n, a, seed", [(150, 2, 1), (400, 3, 2), (900, 4, 3)])
+def test_arboricity_peel_property(n, a, seed):
+    graph = forest_union(n, arboricity=a, seed=seed)
+    vectorized = arboricity_decomposition(
+        graph, arboricity=a, k=5 * a, engine="vectorized"
+    )
+    interpreted = arboricity_decomposition(
+        graph, arboricity=a, k=5 * a, engine="interpreted"
+    )
+    assert vectorized.layers == interpreted.layers
+    assert vectorized.degree_snapshots == interpreted.degree_snapshots
+    assert vectorized.forests == interpreted.forests
+    assert vectorized.forest_colorings == interpreted.forest_colorings
+    assert vectorized.rounds == interpreted.rounds
