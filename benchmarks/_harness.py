@@ -9,6 +9,13 @@ Two kinds of output are produced under ``benchmarks/results/``:
   artifacts.  Every scenario entry records at least the scenario name,
   the instance size ``n``, the wall-clock seconds and (for simulator
   scenarios) the round and message counts.
+
+Each JSON payload is additionally mirrored to a canonical
+``BENCH_<suffix>.json`` at the repository root (``bench_engine`` →
+``BENCH_engine.json``), which is the documented, stable location the
+per-PR perf trajectory is tracked from; the ``benchmarks/results/``
+copies stay where the existing CI artifact uploads expect them.  The
+root copies are gitignored — they are run outputs, not sources.
 """
 
 import json
@@ -18,6 +25,7 @@ import sys
 import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def record_table(name: str, table) -> None:
@@ -50,11 +58,23 @@ def scenario_entry(
     return entry
 
 
+def canonical_bench_path(name: str) -> str:
+    """The repo-root ``BENCH_*.json`` path for a benchmark ``name``.
+
+    ``bench_engine`` → ``<repo>/BENCH_engine.json``; a name without the
+    ``bench_`` prefix keeps its full form (``BENCH_<name>.json``).
+    """
+    suffix = name[len("bench_"):] if name.startswith("bench_") else name
+    return os.path.join(REPO_ROOT, f"BENCH_{suffix}.json")
+
+
 def record_json(name: str, entries: list, meta: dict | None = None) -> str:
     """Persist benchmark entries as ``benchmarks/results/<name>.json``.
 
     Returns the path written.  The payload carries enough environment
-    metadata to interpret wall-clock numbers across machines.
+    metadata to interpret wall-clock numbers across machines.  The same
+    payload is mirrored to the canonical repo-root ``BENCH_*.json``
+    location (see :func:`canonical_bench_path`).
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = {
@@ -65,10 +85,12 @@ def record_json(name: str, entries: list, meta: dict | None = None) -> str:
     }
     if meta:
         payload["meta"] = dict(meta)
+    text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+        handle.write(text)
+    with open(canonical_bench_path(name), "w", encoding="utf-8") as handle:
+        handle.write(text)
     return path
 
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI SLO burn check over a saved metrics scrape.
+
+Usage::
+
+    python scripts/slo_burn_check.py <scrape.prom> [--store results.jsonl]
+
+Evaluates every objective in :data:`repro.obs.slo.DEFAULT_SLOS` against
+the Prometheus-text exposition in the file and exits 1 if any burns.
+With ``--store``, additionally asserts ingest completeness: the
+collector's ``collector_records_ingested_total`` counter must equal the
+streamed store's record count — the scrape and the durable store agree
+on how many records exist, so nothing was silently lost between the
+wire and the disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Runnable straight from a checkout: scripts/ sits next to src/.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import parse_exposition, samples_named, sum_samples
+from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scrape", help="a saved Prometheus-text exposition file")
+    parser.add_argument(
+        "--store", default=None, metavar="JSONL",
+        help="assert collector_records_ingested_total equals this result "
+        "store's record count",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        text = Path(args.scrape).read_text(encoding="utf-8")
+        samples = parse_exposition(text)
+    except (OSError, ValueError) as error:
+        print(f"cannot read scrape: {error}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for result in evaluate_slos(samples, DEFAULT_SLOS):
+        print(f"  {result.status:>8}  {result.name}: {result.detail}")
+        failed = failed or not result.ok
+
+    if args.store is not None:
+        if not samples_named(samples, "collector_records_ingested_total"):
+            print(
+                "  BURNING  ingest-completeness: the scrape has no "
+                "collector_records_ingested_total samples — was it taken "
+                "from a collector?"
+            )
+            failed = True
+        else:
+            ingested = sum_samples(samples, "collector_records_ingested_total")
+            try:
+                store_lines = sum(
+                    1
+                    for line in Path(args.store).read_text(encoding="utf-8").splitlines()
+                    if line.strip()
+                )
+            except OSError as error:
+                print(f"cannot read store: {error}", file=sys.stderr)
+                return 2
+            ok = ingested == store_lines
+            print(
+                f"  {'ok' if ok else 'BURNING':>8}  ingest-completeness: "
+                f"counter={int(ingested)} store_records={store_lines}"
+            )
+            failed = failed or not ok
+
+    if failed:
+        print("SLO burn check FAILED", file=sys.stderr)
+        return 1
+    print("SLO burn check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from repro.core.sequential import (
 )
 from repro.decomposition import arboricity_decomposition, rake_and_compress
 from repro.local import RoundLedger
+from repro.obs import span
 from repro.problems import verify_solution
 from repro.problems.lists import build_edge_list_instance, build_node_list_instance
 from repro.problems.verification import VerificationResult
@@ -195,11 +196,11 @@ def solve_on_tree(
         ledger.charge_max("raked components (gather & solve)", gather_rounds)
 
     labeling = labeling_compressed.merge(labeling_raked)
-    verification = (
-        verify_solution(problem, semigraph, labeling)
-        if verify
-        else VerificationResult(ok=True)
-    )
+    if verify:
+        with span("verify"):
+            verification = verify_solution(problem, semigraph, labeling)
+    else:
+        verification = VerificationResult(ok=True)
     classic = problem.to_classic(semigraph, labeling) if verification.ok else None
 
     return TransformResult(
@@ -294,11 +295,11 @@ def solve_on_bounded_arboricity(
         ROUNDS_PER_STAR_COLLECTION * max(6 * arboricity, num_star_phases),
     )
 
-    verification = (
-        verify_solution(problem, semigraph, current)
-        if verify
-        else VerificationResult(ok=True)
-    )
+    if verify:
+        with span("verify"):
+            verification = verify_solution(problem, semigraph, current)
+    else:
+        verification = VerificationResult(ok=True)
     classic = problem.to_classic(semigraph, current) if verification.ok else None
 
     return TransformResult(

@@ -1,5 +1,5 @@
-"""Command-line interface:
-``python -m repro.experiments <run|list|report|merge|serve|submit|collect>``.
+"""Command-line interface: ``python -m repro.experiments
+<run|list|report|merge|serve|submit|collect|metrics|dashboard>``.
 
 Examples::
 
@@ -156,7 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
             "none.  `report --connect host:port [--job job-N]` fetches the\n"
             "  server-side `report` verb: the rendered bundle for a collector "
             "store or a\n  finished daemon job, byte-identical to a local "
-            "`report --json` on that store."
+            "`report --json` on that store.\n"
+            "\n"
+            "observability:\n"
+            "  Both services export an in-process metrics registry over a "
+            "`metrics` verb as\n  Prometheus text: per-verb request counts and "
+            "latency histograms, auth failures,\n  malformed lines, queue "
+            "depth, jobs by state, cells/sec, ingest fates and\n  per-cell "
+            "phase timings (generate/run/verify/simulate — also stored "
+            "per record\n  in a nonsemantic `timings` field).  `metrics "
+            "--connect host:port [--out f.prom]`\n  scrapes either service; "
+            "`scripts/slo_burn_check.py <scrape>` evaluates the SLOs\n  "
+            "(p99 verb latency, zero dropped/malformed/unauthenticated, "
+            "conflict rate).\n  `dashboard --out DIR [--metrics f.prom | "
+            "--connect host:port] --html page.html`\n  renders the report "
+            "bundle plus a scrape to one static HTML page (stat tiles,\n  "
+            "scaling/fit tables, SLO verdicts) — CI uploads it as the "
+            "`dashboard` artifact."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -331,6 +347,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--json", default=None, help="also write the tables as JSON")
     report.add_argument("--csv", default=None, help="also write the scaling table as CSV")
+
+    metrics = sub.add_parser(
+        "metrics", help="scrape a daemon or collector's Prometheus-text metrics"
+    )
+    metrics.add_argument(
+        "--connect", required=True, metavar="ENDPOINT",
+        help="service endpoint to scrape (host:port or Unix socket path)",
+    )
+    metrics.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for a TCP --connect (default: ${AUTH_TOKEN_ENV})",
+    )
+    metrics.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the exposition to FILE instead of stdout",
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard", help="render the report bundle and/or a metrics scrape "
+        "to a static HTML page",
+    )
+    dashboard.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help=f"result-store directory to report on (default: {DEFAULT_OUT}); "
+        "pass --no-report to skip the store entirely",
+    )
+    dashboard.add_argument(
+        "--no-report", action="store_true",
+        help="render metrics only, without reading any result store",
+    )
+    dashboard.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="a saved Prometheus-text scrape to include (from `metrics --out`)",
+    )
+    dashboard.add_argument(
+        "--connect", default=None, metavar="ENDPOINT",
+        help="scrape a live daemon/collector for the metrics section instead "
+        "of --metrics",
+    )
+    dashboard.add_argument(
+        "--token", default=None,
+        help=f"shared auth token for a TCP --connect (default: ${AUTH_TOKEN_ENV})",
+    )
+    dashboard.add_argument(
+        "--html", default="dashboard.html", metavar="PATH",
+        help="output HTML path (default: dashboard.html)",
+    )
+    dashboard.add_argument(
+        "--title", default="Sweep observability dashboard",
+        help="page title",
+    )
     return parser
 
 
@@ -534,7 +601,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = daemon.tcp_address
         print(f"TCP listener: {host}:{port} (token-authenticated)")
     print(
-        "verbs: submit / status / results / report / shutdown  "
+        "verbs: submit / status / results / report / metrics / shutdown  "
         "(ctrl-c also stops)"
     )
     try:
@@ -563,7 +630,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         endpoints.append(str(args.socket))
     print(f"result collector: {' and '.join(endpoints)}")
     print(f"store: {collector.store.path}")
-    print("verbs: push / status / report / shutdown  (ctrl-c also stops)")
+    print("verbs: push / status / report / metrics / shutdown  (ctrl-c also stops)")
     try:
         collector.serve_forever()
     except KeyboardInterrupt:
@@ -623,6 +690,72 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    client = _make_client(args.connect, args.token)
+    if isinstance(client, int):
+        return client
+    try:
+        text = client.metrics()
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the dashboard is presentation
+    # and nothing else in the CLI should pay for it.
+    from repro.obs.dashboard import render_dashboard
+
+    if args.metrics is not None and args.connect is not None:
+        print("--metrics and --connect are mutually exclusive", file=sys.stderr)
+        return 2
+    metrics_text = None
+    if args.metrics is not None:
+        try:
+            metrics_text = Path(args.metrics).read_text(encoding="utf-8")
+        except OSError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    elif args.connect is not None:
+        client = _make_client(args.connect, args.token)
+        if isinstance(client, int):
+            return client
+        try:
+            metrics_text = client.metrics()
+        except ServiceError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    bundle = None
+    if not args.no_report:
+        records = ResultStore(args.out).records()
+        if records:
+            bundle = build_report(records)
+        elif metrics_text is None:
+            print(
+                f"no stored results under {ResultStore(args.out).path} and no "
+                "metrics source — nothing to render "
+                "(pass --metrics/--connect or run a suite first)",
+                file=sys.stderr,
+            )
+            return 2
+    html = render_dashboard(
+        bundle=bundle, metrics_text=metrics_text, title=args.title
+    )
+    out_path = Path(args.html)
+    if out_path.parent != Path("."):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(html, encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -637,4 +770,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_collect(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     return _cmd_report(args)

@@ -27,6 +27,7 @@ from repro.experiments.shard import ShardSpec, shard_cells
 from repro.local import EngineScope, MessageMeter, numpy_available
 from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
+from repro.obs import PhaseTimer, span
 
 __all__ = ["run_cell", "CellFailure", "SweepReport", "SweepRunner", "default_jobs"]
 
@@ -59,17 +60,26 @@ def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResu
     process pool ships to workers.  ``engine`` is the sweep-level
     ``--engine`` override; the backend(s) that actually served the cell
     are recorded in ``CellResult.engine``.
+
+    The cell runs under an ambient :class:`~repro.obs.PhaseTimer`: the
+    instance build is the ``generate`` phase, the algorithm callable is
+    ``run``, and deeper layers add their own sub-spans (``verify`` from
+    the suite run functions, ``simulate`` from the engines — both nested
+    inside ``run``'s wall clock).  The breakdown lands on
+    ``CellResult.timings`` as nonsemantic telemetry.
     """
     generator = GENERATORS[cell.generator]
     algorithm = ALGORITHMS[cell.algorithm]
     mode = _effective_engine_mode(algorithm.engine, engine)
 
     start = time.perf_counter()
-    graph = None
-    if generator.build is not None:
-        graph = generator.build(cell.n, cell.seed)
-    with MessageMeter() as meter, EngineScope(mode) as scope:
-        fields = algorithm.run(graph, generator, cell.n)
+    with PhaseTimer() as timer:
+        graph = None
+        if generator.build is not None:
+            with span("generate"):
+                graph = generator.build(cell.n, cell.seed)
+        with MessageMeter() as meter, EngineScope(mode) as scope, span("run"):
+            fields = algorithm.run(graph, generator, cell.n)
     wall_clock = time.perf_counter() - start
 
     messages = meter.messages if meter.runs else None
@@ -89,6 +99,7 @@ def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResu
         k=fields.get("k"),
         extras=dict(fields.get("extras", {})),
         engine=scope.engine_used,
+        timings=timer.timings() or None,
     )
 
 

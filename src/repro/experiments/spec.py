@@ -82,6 +82,7 @@ from repro.semigraph import (
 )
 from repro.semigraph.builders import edge_id_for
 from repro.experiments.store import cell_fingerprint
+from repro.obs import span
 
 __all__ = [
     "GeneratorFamily",
@@ -366,45 +367,54 @@ def _run_arboricity_transform(
 
 def _run_baseline_deg_plus_one(graph, generator, n):
     run = deg_plus_one_coloring(graph)
+    with span("verify"):
+        verified = is_deg_plus_one_coloring(graph, run.colours)
     return {
         "rounds": run.rounds,
-        "verified": is_deg_plus_one_coloring(graph, run.colours),
+        "verified": verified,
         "extras": {"palette_after_linial": run.palette_after_linial},
     }
 
 
 def _run_baseline_edge_coloring(graph, generator, n):
     run = edge_degree_plus_one_coloring(graph)
+    with span("verify"):
+        verified = is_edge_degree_plus_one_coloring(graph, run.colours)
     return {
         "rounds": run.rounds,
-        "verified": is_edge_degree_plus_one_coloring(graph, run.colours),
+        "verified": verified,
         "extras": {"colours_used": len(set(run.colours.values()))},
     }
 
 
 def _run_baseline_mis(graph, generator, n):
     run = maximal_independent_set(graph)
+    with span("verify"):
+        verified = is_maximal_independent_set(graph, run.independent_set)
     return {
         "rounds": run.rounds,
-        "verified": is_maximal_independent_set(graph, run.independent_set),
+        "verified": verified,
         "extras": {"mis_size": len(run.independent_set)},
     }
 
 
 def _run_baseline_matching(graph, generator, n):
     run = maximal_matching(graph)
+    with span("verify"):
+        verified = is_maximal_matching(graph, [tuple(e) for e in run.matching])
     return {
         "rounds": run.rounds,
-        "verified": is_maximal_matching(graph, [tuple(e) for e in run.matching]),
+        "verified": verified,
         "extras": {"matching_size": len(run.matching)},
     }
 
 
 def _run_baseline_linial(graph, generator, n):
     colours, palette, rounds = linial_coloring(graph)
-    verified = is_proper_vertex_coloring(graph, colours) and (
-        max(colours.values(), default=1) <= palette
-    )
+    with span("verify"):
+        verified = is_proper_vertex_coloring(graph, colours) and (
+            max(colours.values(), default=1) <= palette
+        )
     return {
         "rounds": rounds,
         "verified": verified,
@@ -414,9 +424,10 @@ def _run_baseline_linial(graph, generator, n):
 
 def _run_baseline_forest_three(graph, generator, n):
     colours, rounds = color_forest_three(graph, bfs_forest_parents(graph))
-    verified = is_proper_vertex_coloring(graph, colours) and (
-        max(colours.values(), default=1) <= 3
-    )
+    with span("verify"):
+        verified = is_proper_vertex_coloring(graph, colours) and (
+            max(colours.values(), default=1) <= 3
+        )
     return {"rounds": rounds, "verified": verified}
 
 
@@ -447,11 +458,12 @@ def _run_sinkless_orientation(graph, generator, n):
     orientation = greedy_sinkless_orientation(graph, min_degree=_SINKLESS.min_degree)
     classic = {edge_id_for(u, v): tail for (u, v), tail in orientation.items()}
     labeling = _SINKLESS.from_classic(semigraph, classic)
-    verified = (
-        is_sinkless_orientation(graph, orientation, min_degree=_SINKLESS.min_degree)
-        and verify_solution(_SINKLESS, semigraph, labeling).ok
-        and _SINKLESS.to_classic(semigraph, labeling) == classic
-    )
+    with span("verify"):
+        verified = (
+            is_sinkless_orientation(graph, orientation, min_degree=_SINKLESS.min_degree)
+            and verify_solution(_SINKLESS, semigraph, labeling).ok
+            and _SINKLESS.to_classic(semigraph, labeling) == classic
+        )
     constrained = sum(
         1 for node in graph.nodes() if graph.degree(node) >= _SINKLESS.min_degree
     )
@@ -518,12 +530,13 @@ def _run_list_variant(variant: str, adapter_factory, classic_check):
         residual = default_solver(problem).solve(instance)
         rounds += _gather_rounds(semigraph_second)
         merged = partial.merge(residual)
-        verified = (
-            verify_list(instance, residual).ok
-            and verify_solution(problem, semigraph, merged).ok
-        )
-        classic = problem.to_classic(semigraph, merged) if verified else None
-        verified = verified and classic_check(graph, classic)
+        with span("verify"):
+            verified = (
+                verify_list(instance, residual).ok
+                and verify_solution(problem, semigraph, merged).ok
+            )
+            classic = problem.to_classic(semigraph, merged) if verified else None
+            verified = verified and classic_check(graph, classic)
         return {
             "rounds": rounds,
             "verified": verified,

@@ -85,6 +85,13 @@ class CellResult:
     #: Provenance only: results are bit-identical across backends, so the
     #: field is nonsemantic for merge conflicts.
     engine: str | None = None
+    #: Per-phase wall-clock breakdown (``{"generate": s, "run": s,
+    #: "verify": s, "simulate": s}``) recorded by the ambient
+    #: :class:`repro.obs.PhaseTimer` around the cell.  Pure telemetry:
+    #: nondeterministic timing like ``wall_clock_s``, hence nonsemantic
+    #: for merge conflicts; ``None`` for analytic cells and every
+    #: pre-observability record.
+    timings: dict[str, float] | None = None
 
     def to_record(self) -> dict[str, Any]:
         """The JSON-serialisable record written to the store."""
@@ -104,6 +111,11 @@ class CellResult:
             "k": self.k,
             "extras": self.extras,
             "engine": self.engine,
+            "timings": (
+                {phase: round(seconds, 6) for phase, seconds in self.timings.items()}
+                if self.timings is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -124,6 +136,7 @@ class CellResult:
             k=record.get("k"),
             extras=dict(record.get("extras", {})),
             engine=record.get("engine"),
+            timings=record.get("timings"),
         )
 
 
@@ -227,9 +240,10 @@ class ResultStore:
 #: Record fields ignored when deciding whether two records for the same
 #: fingerprint *conflict*.  Wall clock is nondeterministic timing, the
 #: suite/scenario labels are cosmetic groupings (the same cell may be run
-#: under different suites), and the engine is execution provenance over
-#: bit-identical backends; none makes two records different results.
-NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario", "engine")
+#: under different suites), the engine is execution provenance over
+#: bit-identical backends, and the per-phase timings are wall-clock
+#: telemetry; none makes two records different results.
+NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario", "engine", "timings")
 
 
 def semantic_payload(record: dict[str, Any]) -> dict[str, Any]:

@@ -35,6 +35,7 @@ equivalence tests and benchmark baselines.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Hashable
@@ -42,6 +43,7 @@ from typing import Any, Hashable
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
 from repro.local.engine import note_engine_use
 from repro.local.network import Network
+from repro.obs import record_phase
 
 
 # Meters currently in scope; every engine run reports its message count to
@@ -142,6 +144,7 @@ def run_synchronous(
         Defaults to ``4 * n + 64`` which is far above every algorithm in
         this repository.
     """
+    simulate_start = time.perf_counter()
     contexts = build_contexts(network)
     states: dict[Hashable, Any] = {
         node: algorithm.initial_state(ctx) for node, ctx in contexts.items()
@@ -202,6 +205,7 @@ def run_synchronous(
 
     outputs = {node: algorithm.output(states[node], ctx) for node, ctx in contexts.items()}
     note_engine_use("interpreted")
+    record_phase("simulate", time.perf_counter() - simulate_start)
     return _report_to_meters(RunResult(
         algorithm=algorithm.name,
         rounds=rounds,

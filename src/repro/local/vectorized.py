@@ -29,6 +29,7 @@ interpreted engine for everything without a kernel.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 try:  # numpy is a declared dependency, but the engine degrades gracefully
@@ -38,6 +39,7 @@ except ImportError:  # pragma: no cover - exercised via monkeypatching
 
 from repro.local.engine import note_engine_use, resolve_engine_mode
 from repro.local.network import Network
+from repro.obs import record_phase
 from repro.local.simulator import (
     RunResult,
     SynchronousAlgorithm,
@@ -301,8 +303,10 @@ def run_vectorized(
             f"{algorithm.name} has no vectorized kernel; "
             f"run it with run_synchronous or engine='auto'"
         )
+    simulate_start = time.perf_counter()
     rounds, messages_sent, outputs = kernel(network, algorithm, max_rounds)
     note_engine_use("vectorized")
+    record_phase("simulate", time.perf_counter() - simulate_start)
     result = RunResult(
         algorithm=algorithm.name,
         rounds=rounds,

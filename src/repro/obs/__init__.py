@@ -1,0 +1,40 @@
+"""Dependency-free observability: metrics, spans, SLOs, dashboards.
+
+The public surface is the registry/primitive layer (:mod:`.metrics`),
+the ambient phase-timing layer (:mod:`.spans`) and the SLO definitions
+(:mod:`.slo`).  The HTML dashboard renderer lives in
+:mod:`repro.obs.dashboard` and is imported explicitly by the CLI — it
+is presentation, not instrumentation, and nothing in the service path
+should pull it in.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    histogram_quantile,
+    parse_exposition,
+)
+from repro.obs.slo import DEFAULT_SLOS, SLO, SLOResult, evaluate_slos
+from repro.obs.spans import PhaseTimer, record_phase, span
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "SLO",
+    "SLOResult",
+    "Sample",
+    "evaluate_slos",
+    "histogram_quantile",
+    "parse_exposition",
+    "record_phase",
+    "span",
+]

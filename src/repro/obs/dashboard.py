@@ -1,0 +1,294 @@
+"""Static HTML dashboard: report bundle tables + scraped metrics.
+
+``render_dashboard`` takes the pieces the ``dashboard`` CLI subcommand
+gathers — an optional :class:`~repro.experiments.report.ReportBundle`
+(duck-typed: anything with ``scaling`` / ``fits`` / ``scenario_tables``
+tables, ``theorem3_beta`` and ``all_verified``) and an optional
+Prometheus exposition string — and emits one self-contained HTML page.
+CI uploads it as the ``dashboard`` artifact.
+
+Everything is a stat tile or a table, no charts: the quantities here
+(verdicts, fits, per-size means, counter totals, histogram quantiles)
+are headline numbers and enumerable rows, which read better as text
+than as marks.  Status is always icon + label, never colour alone; text
+stays in the ink tokens; dark mode derives from ``prefers-color-scheme``.
+Every interpolated value is HTML-escaped.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Any, Sequence
+
+from repro.obs.metrics import Sample, histogram_quantile, parse_exposition
+from repro.obs.slo import DEFAULT_SLOS, SLOResult, evaluate_slos
+
+__all__ = ["render_dashboard"]
+
+_STYLE = """
+:root {
+  --surface: #ffffff; --panel: #f6f7f9; --border: #d9dce1;
+  --ink: #1a1c1f; --ink-2: #4b5058; --ink-3: #788089;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #16181c; --panel: #1f2228; --border: #363b43;
+    --ink: #e8eaed; --ink-2: #aeb4bc; --ink-3: #7f868f;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; color: var(--ink); }
+.subtitle { color: var(--ink-3); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--panel); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 22px; font-weight: 600; margin-top: 2px; }
+.tile .note { color: var(--ink-3); font-size: 12px; margin-top: 2px; }
+table {
+  border-collapse: collapse; margin: 8px 0 16px; background: var(--panel);
+  border: 1px solid var(--border); border-radius: 8px; overflow: hidden;
+}
+caption {
+  text-align: left; color: var(--ink-2); font-size: 13px; padding: 8px 10px 4px;
+  caption-side: top;
+}
+th, td {
+  padding: 5px 12px; text-align: left; font-variant-numeric: tabular-nums;
+  border-top: 1px solid var(--border);
+}
+th { color: var(--ink-2); font-weight: 600; border-top: none; font-size: 13px; }
+details { margin: 12px 0; }
+summary { cursor: pointer; color: var(--ink-2); }
+pre {
+  background: var(--panel); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px; overflow-x: auto; font-size: 12px; color: var(--ink-2);
+}
+.status { white-space: nowrap; }
+.muted { color: var(--ink-3); }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _status(ok: bool, ok_text: str, bad_text: str) -> str:
+    """Icon + label, never colour alone."""
+    icon, text = ("✓", ok_text) if ok else ("✗", bad_text)
+    return f'<span class="status">{icon} {_esc(text)}</span>'
+
+
+def _tile(label: str, value: str, note: str = "", raw_value: bool = False) -> str:
+    value_html = value if raw_value else _esc(value)
+    note_html = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (
+        f'<div class="tile"><div class="label">{_esc(label)}</div>'
+        f'<div class="value">{value_html}</div>{note_html}</div>'
+    )
+
+
+def _table_html(table: Any) -> str:
+    """A MeasurementTable (duck-typed: title/columns/rows) as HTML."""
+    head = "".join(f"<th>{_esc(column)}</th>" for column in table.columns)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in table.rows
+    )
+    return (
+        f"<table><caption>{_esc(table.title)}</caption>"
+        f"<thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
+def _rows_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A table from pre-escaped-or-escapable plain rows."""
+    head = "".join(f"<th>{_esc(column)}</th>" for column in columns)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><caption>{_esc(title)}</caption>"
+        f"<thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
+def _format_number(value: float) -> str:
+    if value != value or value in (math.inf, -math.inf):
+        return str(value)
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _label_text(sample: Sample, skip: tuple[str, ...] = ()) -> str:
+    pairs = [f"{k}={v}" for k, v in sample.labels if k not in skip]
+    return ", ".join(pairs) if pairs else "—"
+
+
+def _metrics_section(metrics_text: str) -> tuple[str, list[SLOResult]]:
+    samples = parse_exposition(metrics_text)
+    slo_results = evaluate_slos(samples, DEFAULT_SLOS)
+
+    slo_rows = []
+    for slo, result in zip(DEFAULT_SLOS, slo_results):
+        slo_rows.append([
+            _esc(result.name),
+            _status(result.ok, "ok", "BURNING"),
+            _esc(slo.description),
+            _esc(result.detail),
+        ])
+    parts = [
+        "<h2>Service-level objectives</h2>",
+        _rows_table(
+            "One row per objective, evaluated over this scrape",
+            ["objective", "status", "description", "detail"],
+            slo_rows,
+        ),
+    ]
+
+    # Split samples into scalar families and histogram families.
+    histogram_names = {
+        sample.name[: -len("_bucket")]
+        for sample in samples
+        if sample.name.endswith("_bucket") and sample.label("le") is not None
+    }
+    scalar_rows = []
+    for sample in samples:
+        base = sample.name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in histogram_names:
+                base = None
+                break
+        if base is None:
+            continue
+        scalar_rows.append([
+            _esc(sample.name),
+            _esc(_label_text(sample)),
+            _esc(_format_number(sample.value)),
+        ])
+    if scalar_rows:
+        parts.append("<h2>Counters and gauges</h2>")
+        parts.append(_rows_table(
+            "Every scalar sample in the scrape",
+            ["metric", "labels", "value"],
+            scalar_rows,
+        ))
+
+    histogram_rows = []
+    for name in sorted(histogram_names):
+        # Group buckets by the non-le label set.
+        by_labels: dict[tuple, dict[float, float]] = {}
+        counts: dict[tuple, float] = {}
+        sums: dict[tuple, float] = {}
+        for sample in samples:
+            key = tuple((k, v) for k, v in sample.labels if k != "le")
+            if sample.name == name + "_bucket":
+                le = sample.label("le")
+                bound = math.inf if le == "+Inf" else float(le)
+                by_labels.setdefault(key, {})[bound] = sample.value
+            elif sample.name == name + "_count":
+                counts[key] = sample.value
+            elif sample.name == name + "_sum":
+                sums[key] = sample.value
+        for key in sorted(by_labels):
+            buckets = by_labels[key]
+            quantiles = [
+                histogram_quantile(q, buckets.items()) for q in (0.5, 0.9, 0.99)
+            ]
+            histogram_rows.append([
+                _esc(name),
+                _esc(", ".join(f"{k}={v}" for k, v in key) or "—"),
+                _esc(_format_number(counts.get(key, 0.0))),
+                _esc(_format_number(sums.get(key, 0.0))),
+                *(
+                    _esc(_format_number(q)) if q is not None
+                    else '<span class="muted">—</span>'
+                    for q in quantiles
+                ),
+            ])
+    if histogram_rows:
+        parts.append("<h2>Latency and size distributions</h2>")
+        parts.append(_rows_table(
+            "Histogram families with estimated quantiles (linear interpolation)",
+            ["histogram", "labels", "count", "sum", "p50", "p90", "p99"],
+            histogram_rows,
+        ))
+
+    parts.append(
+        "<details><summary>Raw Prometheus exposition</summary>"
+        f"<pre>{_esc(metrics_text)}</pre></details>"
+    )
+    return "".join(parts), slo_results
+
+
+def render_dashboard(
+    bundle: Any | None = None,
+    metrics_text: str | None = None,
+    title: str = "Sweep observability dashboard",
+) -> str:
+    """One self-contained HTML page from a report bundle and/or a scrape."""
+    tiles: list[str] = []
+    sections: list[str] = []
+
+    if bundle is not None:
+        tiles.append(_tile(
+            "All cells verified",
+            _status(bundle.all_verified, "yes", "NO"),
+            raw_value=True,
+        ))
+        if bundle.theorem3_beta is not None:
+            ok = bundle.theorem3_beta < 1
+            tiles.append(_tile(
+                "Theorem 3 shape β",
+                f"{bundle.theorem3_beta:.3f}",
+                note="sublogarithmic (β < 1)" if ok else "β ≥ 1",
+            ))
+        tiles.append(_tile("Scenarios", str(len(bundle.summaries))))
+        sections.append("<h2>Scaling</h2>")
+        sections.append(_table_html(bundle.scaling))
+        sections.append(_table_html(bundle.fits))
+        sections.append("<h2>Per-scenario detail</h2>")
+        sections.extend(_table_html(table) for table in bundle.scenario_tables)
+
+    if metrics_text:
+        metrics_html, slo_results = _metrics_section(metrics_text)
+        burning = [result for result in slo_results if not result.ok]
+        tiles.insert(0, _tile(
+            "SLOs",
+            _status(not burning, "all ok", f"{len(burning)} burning"),
+            note=f"{len(slo_results)} objectives evaluated",
+            raw_value=True,
+        ))
+        sections.append(metrics_html)
+
+    if not tiles and not sections:
+        sections.append('<p class="muted">Nothing to show: no report bundle '
+                        "and no metrics scrape were provided.</p>")
+
+    tiles_html = f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+<p class="subtitle">Static snapshot rendered by <code>repro.experiments dashboard</code>.</p>
+{tiles_html}
+{"".join(sections)}
+</body>
+</html>
+"""

@@ -1,0 +1,176 @@
+"""Service-level objectives evaluated over a metrics exposition.
+
+Each :class:`SLO` is a named predicate over the parsed samples of one
+Prometheus-text scrape.  ``evaluate_slos`` runs every objective and
+returns structured verdicts; ``scripts/slo_burn_check.py`` turns a
+burning objective into a red CI run.
+
+An objective whose underlying series is absent from the scrape passes
+with ``"no data"`` rather than burning: a scrape taken before the first
+request (or from a service that does not own that subsystem) is not an
+outage.  The reverse — a metric present but over budget — always burns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.obs.metrics import (
+    Sample,
+    histogram_quantile,
+    samples_named,
+    sum_samples,
+)
+
+__all__ = ["SLO", "SLOResult", "DEFAULT_SLOS", "evaluate_slos"]
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One objective's verdict over one scrape."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.ok else "BURNING"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A named objective: ``check`` maps samples to (ok, detail)."""
+
+    name: str
+    description: str
+    check: Callable[[Sequence[Sample]], tuple[bool, str]]
+
+    def evaluate(self, samples: Sequence[Sample]) -> SLOResult:
+        ok, detail = self.check(samples)
+        return SLOResult(name=self.name, ok=ok, detail=detail)
+
+
+def _histogram_p99(
+    samples: Sequence[Sample], name: str, threshold_s: float
+) -> tuple[bool, str]:
+    """p99 over all label combinations of one latency histogram pooled."""
+    buckets: dict[float, float] = {}
+    for sample in samples_named(samples, name + "_bucket"):
+        le = sample.label("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        buckets[bound] = buckets.get(bound, 0.0) + sample.value
+    p99 = histogram_quantile(0.99, buckets.items())
+    if p99 is None:
+        return True, f"no data ({name} has no observations)"
+    ok = p99 <= threshold_s
+    return ok, f"p99 ≈ {p99:.4f}s (budget {threshold_s}s)"
+
+
+def _counter_at_most(
+    samples: Sequence[Sample], name: str, budget: float, **labels: str
+) -> tuple[bool, str]:
+    if not samples_named(samples, name):
+        return True, f"no data ({name} absent)"
+    total = sum_samples(samples, name, **labels)
+    label_note = "".join(f"{{{k}={v}}}" for k, v in labels.items())
+    return total <= budget, f"{name}{label_note} = {_trim(total)} (budget {_trim(budget)})"
+
+
+def _ratio_at_most(
+    samples: Sequence[Sample],
+    numerator: tuple[str, dict],
+    denominator: str,
+    budget: float,
+) -> tuple[bool, str]:
+    num_name, num_labels = numerator
+    if not samples_named(samples, denominator):
+        return True, f"no data ({denominator} absent)"
+    total = sum_samples(samples, denominator)
+    if total <= 0:
+        return True, f"no data ({denominator} = 0)"
+    part = sum_samples(samples, num_name, **num_labels)
+    ratio = part / total
+    return ratio <= budget, f"ratio = {ratio:.4f} (budget {budget})"
+
+
+def _trim(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.4f}"
+
+
+def _slo_verb_latency(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _histogram_p99(samples, "service_request_seconds", threshold_s=5.0)
+
+
+def _slo_zero_dropped(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _counter_at_most(
+        samples, "collector_records_total", budget=0, fate="dropped"
+    )
+
+
+def _slo_conflict_rate(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _ratio_at_most(
+        samples,
+        numerator=("collector_records_total", {"fate": "conflict"}),
+        denominator="collector_records_ingested_total",
+        budget=0.05,
+    )
+
+
+def _slo_malformed_lines(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _counter_at_most(samples, "service_malformed_lines_total", budget=0)
+
+
+def _slo_auth_failures(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _counter_at_most(samples, "service_auth_failures_total", budget=0)
+
+
+def _slo_worker_restarts(samples: Sequence[Sample]) -> tuple[bool, str]:
+    return _counter_at_most(samples, "pool_worker_restarts_total", budget=0)
+
+
+#: The repo's objectives, documented in ROADMAP.md.  Budgets are tuned
+#: for the CI smoke jobs: a healthy run serves every verb in well under
+#: five seconds at p99 and drops, mangles and rejects nothing.
+DEFAULT_SLOS: tuple[SLO, ...] = (
+    SLO(
+        name="verb-latency-p99",
+        description="p99 service request latency ≤ 5s across all verbs",
+        check=_slo_verb_latency,
+    ),
+    SLO(
+        name="zero-dropped-records",
+        description="the collector drops no pushed records",
+        check=_slo_zero_dropped,
+    ),
+    SLO(
+        name="duplicate-conflict-rate",
+        description="semantic duplicate conflicts ≤ 5% of ingested records",
+        check=_slo_conflict_rate,
+    ),
+    SLO(
+        name="zero-malformed-lines",
+        description="no protocol lines fail to parse",
+        check=_slo_malformed_lines,
+    ),
+    SLO(
+        name="zero-auth-failures",
+        description="no connections are rejected for a bad token",
+        check=_slo_auth_failures,
+    ),
+    SLO(
+        name="zero-worker-restarts",
+        description="no pool workers die and respawn mid-sweep",
+        check=_slo_worker_restarts,
+    ),
+)
+
+
+def evaluate_slos(
+    samples: Sequence[Sample], slos: Iterable[SLO] = DEFAULT_SLOS
+) -> list[SLOResult]:
+    """Every objective's verdict over one scrape, in definition order."""
+    return [slo.evaluate(samples) for slo in slos]

@@ -1,0 +1,86 @@
+"""Ambient per-cell phase timing — the span side of the obs layer.
+
+``run_cell`` wants a generate/run/verify/simulate breakdown without
+threading a timer object through every generator, algorithm and engine
+signature.  The repo already solves exactly this shape twice with
+module-level ambient stacks (``MessageMeter`` for message counts,
+``EngineScope`` for backend selection); :class:`PhaseTimer` is the same
+idiom for wall-clock phases, thread-local so concurrent service threads
+never cross streams:
+
+    with PhaseTimer() as timer:
+        with span("generate"):
+            graph = generator.build(...)
+        with span("run"):
+            fields = algorithm.run(...)
+    timings = timer.timings()   # {"generate": ..., "run": ...}
+
+Deep code (the engines) reports through :func:`record_phase` without
+knowing whether a timer is active — with no ambient timer both
+:func:`span` and :func:`record_phase` are no-ops, so the engines stay
+usable standalone.  Repeated spans of one phase accumulate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "record_phase", "span"]
+
+_local = threading.local()
+
+
+def _active_timers() -> list["PhaseTimer"]:
+    timers = getattr(_local, "timers", None)
+    if timers is None:
+        timers = _local.timers = []
+    return timers
+
+
+class PhaseTimer:
+    """Collects named phase durations from the spans under its scope."""
+
+    def __init__(self) -> None:
+        self._timings: dict[str, float] = {}
+
+    def __enter__(self) -> "PhaseTimer":
+        _active_timers().append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        timers = _active_timers()
+        if timers and timers[-1] is self:
+            timers.pop()
+        else:  # defensive: exited out of order
+            try:
+                timers.remove(self)
+            except ValueError:
+                pass
+        return False
+
+    def record(self, phase: str, seconds: float) -> None:
+        self._timings[phase] = self._timings.get(phase, 0.0) + seconds
+
+    def timings(self) -> dict[str, float]:
+        """The accumulated ``{phase: seconds}`` map (a copy)."""
+        return dict(self._timings)
+
+
+def record_phase(phase: str, seconds: float) -> None:
+    """Add ``seconds`` to ``phase`` on the innermost active timer, if any."""
+    timers = _active_timers()
+    if timers:
+        timers[-1].record(phase, seconds)
+
+
+@contextmanager
+def span(phase: str) -> Iterator[None]:
+    """Time a block and record it as ``phase`` on the ambient timer."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        record_phase(phase, time.perf_counter() - start)

@@ -236,6 +236,15 @@ class ServiceClient:
         """Stream result records to a collector; returns ingest counters."""
         return self.request({"op": "push", "records": records})
 
+    def metrics(self) -> str:
+        """The server's Prometheus-text metrics exposition.
+
+        Works against both the daemon and the collector; the returned
+        string is scrape-ready (``repro.obs.parse_exposition`` reads it,
+        as does any Prometheus-compatible tool).
+        """
+        return self.request({"op": "metrics"})["metrics"]
+
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
 

@@ -33,10 +33,14 @@ Verbs
     ``{"op": "push", "records": [<cell record>, ...]}`` → per-batch
     ``accepted`` / ``dropped`` / ``conflicts`` counts.
 ``status``
-    Cumulative ingest counters and the store path.
+    Cumulative ingest counters, the store path, uptime and the
+    cumulative records/sec ingest rate.
 ``report``
     The rendered report bundle over everything collected so far — the
     same bytes ``report --json`` would write from the store.
+``metrics``
+    The collector's full Prometheus-text exposition (ingest counters by
+    fate, push-batch sizes, stream lag, per-verb latency).
 ``shutdown``
     Stop serving (the store is already durable; nothing to flush).
 """
@@ -44,10 +48,12 @@ Verbs
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any
 
 from repro.experiments.report import report_payload
+from repro.obs import MetricsRegistry
 from repro.experiments.store import (
     DEFAULT_OUT,
     CellResult,
@@ -89,6 +95,51 @@ class ResultCollector:
         self.dropped = 0
         self.duplicates = 0
         self.conflicts = 0
+        self._started_monotonic: float | None = None
+        self._last_push_monotonic: float | None = None
+        self.registry = MetricsRegistry()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        # collector_records_ingested_total counts store *appends* only —
+        # CI pins it equal to the streamed store's record count, so a
+        # dropped record must not tick it.
+        self._ingested_metric = self.registry.counter(
+            "collector_records_ingested_total",
+            "Records appended to the collector's store.",
+        )
+        self._fate_metric = self.registry.counter(
+            "collector_records_total",
+            "Pushed records by duplicate-policy fate.",
+            ("fate",),
+        )
+        self._push_batch_records = self.registry.histogram(
+            "collector_push_batch_records",
+            "Records per push batch.",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 500),
+        )
+        self.registry.gauge(
+            "collector_uptime_seconds", "Seconds since the collector started."
+        ).set_function(self._uptime_s)
+        self.registry.gauge(
+            "collector_seconds_since_last_push",
+            "Per-stream lag: seconds since the last push batch arrived "
+            "(0 before the first push).",
+        ).set_function(self._seconds_since_last_push)
+
+    def _uptime_s(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def _seconds_since_last_push(self) -> float:
+        if self._last_push_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._last_push_monotonic
+
+    def _records_per_s(self) -> float:
+        uptime = self._uptime_s()
+        return self.accepted / uptime if uptime > 0 else 0.0
 
     @property
     def tcp_address(self) -> tuple[str, int] | None:
@@ -127,6 +178,8 @@ class ResultCollector:
             token=self.token,
             name="result-collector",
             close_after=lambda request, _: request.get("op") == "shutdown",
+            registry=self.registry,
+            verbs=("ping", "push", "status", "report", "metrics", "shutdown"),
         )
         try:
             if self.socket_path is not None:
@@ -144,6 +197,7 @@ class ResultCollector:
             server.close()
             raise
         self._server = server
+        self._started_monotonic = time.monotonic()
 
     def serve_forever(self) -> None:
         """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
@@ -197,6 +251,7 @@ class ResultCollector:
                 resolution = resolve_duplicate(previous, record)
                 if not resolution.keep_newcomer:
                     self.dropped += 1
+                    self._fate_metric.labels(fate="dropped").inc()
                     return "dropped"
                 fate = "conflict" if resolution.conflict else "accepted"
             else:
@@ -204,6 +259,8 @@ class ResultCollector:
             self._latest[fingerprint] = result.to_record()
             self.store.append(result)
             self.accepted += 1
+            self._ingested_metric.inc()
+            self._fate_metric.labels(fate=fate).inc()
             if fate == "conflict":
                 self.conflicts += 1
             return fate
@@ -218,18 +275,25 @@ class ResultCollector:
         if op == "push":
             return self._handle_push(request)
         if op == "status":
-            return ok_response(**self._counters())
+            return ok_response(
+                uptime_s=self._uptime_s(),
+                records_per_s=self._records_per_s(),
+                **self._counters(),
+            )
         if op == "report":
             with self._lock:
                 records = list(self._latest.values())
             if not records:
                 return error_response("the collector has no results to report on")
             return ok_response(records=len(records), **report_payload(records))
+        if op == "metrics":
+            return ok_response(metrics=self.registry.render())
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
-            f"unknown op {op!r} (expected ping/push/status/report/shutdown)"
+            f"unknown op {op!r} "
+            f"(expected ping/push/status/report/metrics/shutdown)"
         )
 
     def _counters(self) -> dict[str, Any]:
@@ -265,6 +329,8 @@ class ResultCollector:
                 return error_response(
                     f"push record {index} is not a valid cell record ({error!r})"
                 )
+        self._push_batch_records.observe(len(records))
+        self._last_push_monotonic = time.monotonic()
         counts = {"accepted": 0, "dropped": 0, "conflicts": 0}
         for record in records:
             fate = self.ingest(record)

@@ -32,6 +32,9 @@ Verbs
     A rendered report bundle (scaling tables + β fits) for a *finished*
     job, built server-side from the job's store — clients get the exact
     bytes ``report --json`` would write, without touching the store.
+``metrics``
+    The daemon's full Prometheus-text exposition (queue depth, per-verb
+    latency, per-phase cell timings, pool traffic) as one string field.
 ``shutdown``
     Stop accepting work, finish the jobs already queued, exit.
 
@@ -55,6 +58,7 @@ from repro.experiments.report import report_payload
 from repro.experiments.spec import get_suite
 from repro.experiments.store import DEFAULT_OUT, ResultStore
 from repro.local import ENGINE_MODES
+from repro.obs import MetricsRegistry
 from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.service.protocol import (
@@ -150,7 +154,10 @@ class SweepDaemon:
         self.socket_path = Path(socket_path)
         self.listen = listen
         self.token = resolve_token(token)
-        self.pool = WorkerPool(workers=workers, batch_size=batch_size)
+        self.registry = MetricsRegistry()
+        self.pool = WorkerPool(
+            workers=workers, batch_size=batch_size, registry=self.registry
+        )
         self._jobs: dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._job_queue: queue_module.Queue[str] = queue_module.Queue()
@@ -158,6 +165,57 @@ class SweepDaemon:
         self._shutdown = threading.Event()
         self._server: LineServer | None = None
         self._runner_thread: threading.Thread | None = None
+        self._started_monotonic: float | None = None
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Daemon-level gauges/counters in the shared registry.
+
+        Queue depth, uptime and per-state job counts are *function*
+        gauges — read live at scrape time, never maintained by hand.
+        Cell phase timings observed here come off
+        ``CellResult.timings``: worker processes have their own address
+        space, so their spans travel back inside the result record and
+        land in this (scrapable) registry at the progress callback.
+        """
+        self.registry.gauge(
+            "daemon_queue_depth", "Jobs waiting in the submission queue."
+        ).set_function(self._job_queue.qsize)
+        self.registry.gauge(
+            "daemon_uptime_seconds", "Seconds since the daemon started."
+        ).set_function(self._uptime_s)
+        jobs_gauge = self.registry.gauge(
+            "daemon_jobs", "Jobs in the table, by state.", ("state",)
+        )
+        for state in ("queued", "running", "done", "failed"):
+            jobs_gauge.labels(state=state).set_function(
+                lambda state=state: sum(
+                    1 for job in list(self._jobs.values()) if job.state == state
+                )
+            )
+        self._cells_completed = self.registry.counter(
+            "daemon_cells_completed_total",
+            "Cells stored by daemon jobs (verified or not).",
+        )
+        self._job_seconds = self.registry.histogram(
+            "daemon_job_seconds",
+            "Wall-clock seconds per finished job.",
+            buckets=(0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
+        )
+        self._cell_phase_seconds = self.registry.histogram(
+            "daemon_cell_phase_seconds",
+            "Per-cell phase durations (generate/run/verify/simulate).",
+            ("phase",),
+        )
+
+    def _uptime_s(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def _cells_per_s(self) -> float:
+        uptime = self._uptime_s()
+        return self.pool.cells_executed / uptime if uptime > 0 else 0.0
 
     @property
     def tcp_address(self) -> tuple[str, int] | None:
@@ -204,6 +262,9 @@ class SweepDaemon:
             token=self.token,
             name="sweep-daemon",
             close_after=lambda request, _: request.get("op") == "shutdown",
+            registry=self.registry,
+            verbs=("ping", "submit", "status", "results", "report",
+                   "metrics", "shutdown"),
         )
         try:
             server.listen_unix(self.socket_path)
@@ -215,6 +276,7 @@ class SweepDaemon:
             self.pool.shutdown()
             raise
         self._server = server
+        self._started_monotonic = time.monotonic()
         self._runner_thread = threading.Thread(
             target=self._runner_loop, name="sweep-daemon-runner", daemon=True
         )
@@ -295,6 +357,7 @@ class SweepDaemon:
         """
         job.state = "running"
         job.started_s = time.time()
+        job_start = time.perf_counter()
 
         def on_plan(total: int, skipped: int) -> None:
             job.total_cells = total
@@ -302,6 +365,9 @@ class SweepDaemon:
 
         def progress(result) -> None:
             job.executed += 1
+            self._cells_completed.inc()
+            for phase, seconds in (result.timings or {}).items():
+                self._cell_phase_seconds.labels(phase=phase).observe(seconds)
             if not result.verified:
                 job.unverified += 1
             if len(job.results) < MAX_RESULT_RECORDS_IN_MEMORY:
@@ -348,6 +414,7 @@ class SweepDaemon:
             if sink is not None:
                 sink.close()
             job.finished_s = time.time()
+            self._job_seconds.observe(time.perf_counter() - job_start)
 
     # ------------------------------------------------------------------
     # protocol handling (dispatched from LineServer connection threads)
@@ -364,12 +431,14 @@ class SweepDaemon:
             return self._handle_results(request)
         if op == "report":
             return self._handle_report(request)
+        if op == "metrics":
+            return ok_response(metrics=self.registry.render())
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
             f"unknown op {op!r} "
-            f"(expected ping/submit/status/results/report/shutdown)"
+            f"(expected ping/submit/status/results/report/metrics/shutdown)"
         )
 
     def _pool_stats(self) -> dict[str, Any]:
@@ -461,7 +530,13 @@ class SweepDaemon:
             return ok_response(job=job.describe())
         with self._jobs_lock:
             jobs = [job.describe() for job in self._jobs.values()]
-        return ok_response(jobs=jobs, pool=self._pool_stats())
+        return ok_response(
+            jobs=jobs,
+            pool=self._pool_stats(),
+            uptime_s=self._uptime_s(),
+            queue_depth=self._job_queue.qsize(),
+            cells_per_s=self._cells_per_s(),
+        )
 
     def _handle_results(self, request: dict[str, Any]) -> dict[str, Any]:
         job = self._get_job(request)

@@ -48,6 +48,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.spec import Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
+from repro.obs import MetricsRegistry
 from repro.service.shard import ShardSpec
 
 __all__ = ["DEFAULT_BATCH_SIZE", "CellOutcome", "WorkerPool", "batch_cells"]
@@ -119,7 +120,12 @@ class WorkerPool:
     eagerly, before spawning their own threads, to keep the fork clean.
     """
 
-    def __init__(self, workers: int | None = None, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if batch_size < 1:
@@ -134,10 +140,28 @@ class WorkerPool:
         self._sweep_lock = threading.Lock()
         self._job_ids = itertools.count(1)
         self._closed = False
+        self._ever_started = False
         # Cumulative traffic counters (exposed by the daemon's status verb).
         self.sweeps_served = 0
         self.cells_executed = 0
         self.batches_executed = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._restarts_metric = self.registry.counter(
+            "pool_worker_restarts_total",
+            "Worker processes respawned after the pool first came up.",
+        )
+        self._batch_seconds = self.registry.histogram(
+            "pool_batch_seconds",
+            "Batch dispatch latency: enqueue to results arrival, in seconds.",
+        )
+        self._cells_metric = self.registry.counter(
+            "pool_cells_executed_total",
+            "Cells executed by the worker pool (ok and failed).",
+        )
+        self._sweeps_metric = self.registry.counter(
+            "pool_sweeps_total",
+            "Sweep submissions fully streamed by the pool.",
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -161,6 +185,7 @@ class WorkerPool:
             self._rebuild_ipc()
         while len(self._processes) < self.workers:
             self._spawn_worker()
+        self._ever_started = True
 
     def _rebuild_ipc(self) -> None:
         """Terminate every worker and rebuild both queues from scratch."""
@@ -173,6 +198,10 @@ class WorkerPool:
         self._results = self._context.Queue()
 
     def _spawn_worker(self) -> None:
+        if self._ever_started:
+            # Spawning past the initial bring-up means a worker died and
+            # is being replaced — the restart SLO watches exactly this.
+            self._restarts_metric.inc()
         self._worker_counter += 1
         process = self._context.Process(
             target=_worker_main,
@@ -229,12 +258,14 @@ class WorkerPool:
                 # the sweep lock: healing while another sweep is mid-
                 # flight would swap the queues out from under it.
                 self.start()
+                enqueued_at: dict[int, float] = {}
                 for index, batch in enumerate(batches):
+                    enqueued_at[index] = time.perf_counter()
                     self._tasks.put((job_id, suite_name, engine, index, batch))
                 remaining = len(batches)
                 while remaining:
                     try:
-                        received_job, _, outcomes = self._results.get(timeout=1.0)
+                        received_job, batch_index, outcomes = self._results.get(timeout=1.0)
                     except queue_module.Empty:
                         self._check_workers_alive()
                         continue
@@ -245,10 +276,15 @@ class WorkerPool:
                         continue
                     remaining -= 1
                     self.batches_executed += 1
+                    self._batch_seconds.observe(
+                        time.perf_counter() - enqueued_at.pop(batch_index)
+                    )
                     for cell, result, error in outcomes:
                         self.cells_executed += 1
+                        self._cells_metric.inc()
                         yield CellOutcome(cell=cell, result=result, error=error)
                 self.sweeps_served += 1
+                self._sweeps_metric.inc()
 
         return stream()
 

@@ -41,9 +41,12 @@ import json
 import os
 import socket
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
+
+from repro.obs import MetricsRegistry
 
 __all__ = [
     "AUTH_TOKEN_ENV",
@@ -244,6 +247,14 @@ class LineServer:
     the server token (compared constant-time); the field is stripped
     before the handler sees the request.  Unix connections skip the check
     — the socket file's permissions are the boundary.
+
+    Every server self-instruments into ``registry`` (its own private
+    :class:`~repro.obs.MetricsRegistry` when none is shared in): request
+    counts and latency per verb, auth failures, malformed lines and
+    connection churn, labelled by the server ``name``.  The ``verb``
+    label is clamped to the ``verbs`` tuple the owner declares — any
+    unknown ``op`` counts as ``"other"``, so an abusive client cannot
+    mint unbounded label cardinality.
     """
 
     def __init__(
@@ -252,17 +263,55 @@ class LineServer:
         token: str | None = None,
         name: str = "line-server",
         close_after: Callable[[dict[str, Any], dict[str, Any]], bool] | None = None,
+        registry: MetricsRegistry | None = None,
+        verbs: tuple[str, ...] = (),
     ) -> None:
         self.handler = handler
         self.token = token
         self.name = name
         self.close_after = close_after
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.verbs = tuple(verbs)
         self.unix_path: Path | None = None
         self.tcp_address: tuple[str, int] | None = None
         self._listeners: list[tuple[socket.socket, bool]] = []
         self._accept_threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._started = False
+        self._requests_total = self.registry.counter(
+            "service_requests_total",
+            "Requests handled, by server, verb and outcome (ok/error).",
+            ("server", "verb", "outcome"),
+        )
+        self._request_seconds = self.registry.histogram(
+            "service_request_seconds",
+            "Request handling latency in seconds, by server and verb.",
+            ("server", "verb"),
+        )
+        self._auth_failures = self.registry.counter(
+            "service_auth_failures_total",
+            "TCP requests refused for a missing or wrong token.",
+            ("server",),
+        )
+        self._malformed_lines = self.registry.counter(
+            "service_malformed_lines_total",
+            "Protocol lines that failed to parse as one JSON object.",
+            ("server",),
+        )
+        self._connections_total = self.registry.counter(
+            "service_connections_total",
+            "Connections accepted, by server.",
+            ("server",),
+        )
+        self._connections_active = self.registry.gauge(
+            "service_connections_active",
+            "Connections currently being served, by server.",
+            ("server",),
+        )
+
+    def _verb_label(self, request: dict[str, Any]) -> str:
+        op = request.get("op")
+        return op if op in self.verbs else "other"
 
     # -- listeners ------------------------------------------------------
     def listen_unix(self, path: str | Path, flag: str = "--socket") -> Path:
@@ -388,36 +437,54 @@ class LineServer:
     def _serve_connection(
         self, connection: socket.socket, requires_token: bool
     ) -> None:
-        with connection, connection.makefile("rb") as reader:
-            while True:
-                try:
-                    request = recv_message(reader)
-                except ProtocolError as error:
+        active = self._connections_active.labels(server=self.name)
+        self._connections_total.labels(server=self.name).inc()
+        active.inc()
+        try:
+            with connection, connection.makefile("rb") as reader:
+                while True:
                     try:
-                        send_message(connection, error_response(str(error)))
-                    except OSError:
-                        pass
-                    return
-                if request is None:
-                    return
-                if requires_token and not self._authenticate(request):
+                        request = recv_message(reader)
+                    except ProtocolError as error:
+                        self._malformed_lines.labels(server=self.name).inc()
+                        try:
+                            send_message(connection, error_response(str(error)))
+                        except OSError:
+                            pass
+                        return
+                    if request is None:
+                        return
+                    if requires_token and not self._authenticate(request):
+                        self._auth_failures.labels(server=self.name).inc()
+                        try:
+                            send_message(connection, error_response(
+                                "authentication failed: TCP requests must carry "
+                                f"the shared token (set {AUTH_TOKEN_ENV} or pass "
+                                "token=... to the client)"
+                            ))
+                        except OSError:
+                            pass
+                        return
+                    request.pop("token", None)
+                    verb = self._verb_label(request)
+                    start = time.perf_counter()
                     try:
-                        send_message(connection, error_response(
-                            "authentication failed: TCP requests must carry "
-                            f"the shared token (set {AUTH_TOKEN_ENV} or pass "
-                            "token=... to the client)"
-                        ))
+                        response = self.handler(request)
+                    except Exception as error:  # noqa: BLE001 - keep serving
+                        response = error_response(repr(error))
+                    self._request_seconds.labels(
+                        server=self.name, verb=verb
+                    ).observe(time.perf_counter() - start)
+                    self._requests_total.labels(
+                        server=self.name,
+                        verb=verb,
+                        outcome="ok" if response.get("ok") else "error",
+                    ).inc()
+                    try:
+                        send_message(connection, response)
                     except OSError:
-                        pass
-                    return
-                request.pop("token", None)
-                try:
-                    response = self.handler(request)
-                except Exception as error:  # noqa: BLE001 - keep serving
-                    response = error_response(repr(error))
-                try:
-                    send_message(connection, response)
-                except OSError:
-                    return
-                if self.close_after is not None and self.close_after(request, response):
-                    return
+                        return
+                    if self.close_after is not None and self.close_after(request, response):
+                        return
+        finally:
+            active.dec()

@@ -28,7 +28,10 @@ def _canonical(records):
     """Store records, keyed and sorted by fingerprint, timing dropped."""
     by_fingerprint = {}
     for record in records:
-        payload = {k: v for k, v in record.items() if k != "wall_clock_s"}
+        payload = {
+            k: v for k, v in record.items()
+            if k not in ("wall_clock_s", "timings")
+        }
         by_fingerprint[record["fingerprint"]] = payload
     return sorted(by_fingerprint.values(), key=lambda r: r["fingerprint"])
 

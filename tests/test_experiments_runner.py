@@ -39,6 +39,7 @@ def records_without_wall_clock(store: ResultStore) -> list[dict]:
     records = store.records()
     for record in records:
         record.pop("wall_clock_s")
+        record.pop("timings", None)
     return records
 
 
@@ -226,3 +227,47 @@ class TestEngineProvenance:
         assert _effective_engine_mode("vectorized", None) == "vectorized"
         assert _effective_engine_mode("vectorized", "interpreted") == "interpreted"
         assert _effective_engine_mode("auto", "vectorized") == "vectorized"
+
+
+class TestPhaseTimings:
+    """run_cell records a generate/run/verify/simulate breakdown as
+    nonsemantic telemetry on CellResult.timings."""
+
+    def measured_cell(self):
+        from repro.experiments import run_cell
+
+        cell = next(c for c in TINY.cells() if c.generator != ANALYTIC_GENERATOR)
+        return run_cell(TINY.name, cell)
+
+    def test_measured_cell_records_all_phases(self):
+        result = self.measured_cell()
+        timings = result.timings
+        assert timings is not None
+        assert {"generate", "run", "verify", "simulate"} <= set(timings)
+        assert all(seconds >= 0 for seconds in timings.values())
+        # verify and simulate are nested inside run's wall clock
+        assert timings["simulate"] <= timings["run"] + 1e-6
+
+    def test_analytic_cell_skips_generate_and_simulate(self):
+        from repro.experiments import run_cell
+
+        cell = next(c for c in TINY.cells() if c.generator == ANALYTIC_GENERATOR)
+        timings = run_cell(TINY.name, cell).timings
+        assert timings is not None and "run" in timings
+        assert "generate" not in timings
+        assert "simulate" not in timings
+
+    def test_timings_round_trip_and_stay_nonsemantic(self):
+        from repro.experiments import CellResult
+        from repro.experiments.store import NONSEMANTIC_FIELDS
+
+        assert "timings" in NONSEMANTIC_FIELDS
+        result = self.measured_cell()
+        record = result.to_record()
+        assert set(record["timings"]) == set(result.timings)
+        restored = CellResult.from_record(record)
+        assert restored.timings == record["timings"]
+        # a pre-observability record (no timings key) still loads
+        legacy = dict(record)
+        del legacy["timings"]
+        assert CellResult.from_record(legacy).timings is None

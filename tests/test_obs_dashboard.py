@@ -1,0 +1,258 @@
+"""Dashboard rendering, the ``metrics``/``dashboard`` CLI subcommands
+and the CI SLO burn-check script."""
+
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ResultStore, get_suite, run_cell
+from repro.experiments.cli import main
+from repro.experiments.spec import ANALYTIC_GENERATOR
+from repro.obs import MetricsRegistry
+from repro.obs.dashboard import render_dashboard
+from repro.service import ResultCollector
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BURN_CHECK = REPO_ROOT / "scripts" / "slo_burn_check.py"
+TOKEN = "dashboard-suite-token"
+
+
+def clean_scrape() -> str:
+    """A healthy scrape: every SLO passes and one histogram renders."""
+    registry = MetricsRegistry()
+    registry.counter("collector_records_ingested_total", "x").inc(3)
+    fates = registry.counter("collector_records_total", "x", ("fate",))
+    fates.labels(fate="accepted").inc(3)
+    fates.labels(fate="dropped")  # present with value 0
+    latency = registry.histogram(
+        "service_request_seconds", "x", ("server", "verb"),
+        buckets=(0.01, 0.1, 1.0),
+    )
+    latency.labels(server="collector", verb="push").observe(0.005)
+    return registry.render()
+
+
+def burning_scrape() -> str:
+    registry = MetricsRegistry()
+    registry.counter(
+        "collector_records_total", "x", ("fate",)
+    ).labels(fate="dropped").inc(2)
+    return registry.render()
+
+
+class FakeTable:
+    def __init__(self, title):
+        self.title = title
+        self.columns = ["n", "value"]
+        self.rows = [[10, "1.5"], [20, "2.5"]]
+
+
+class FakeBundle:
+    """Duck-typed stand-in for ReportBundle."""
+
+    def __init__(self, all_verified=True, theorem3_beta=0.5):
+        self.all_verified = all_verified
+        self.theorem3_beta = theorem3_beta
+        self.summaries = {"a": None, "b": None}
+        self.scaling = FakeTable("Scaling <table>")
+        self.fits = FakeTable("Fits")
+        self.scenario_tables = [FakeTable("Scenario a")]
+
+
+class TestRenderDashboard:
+    def test_empty_inputs_render_a_placeholder(self):
+        html = render_dashboard()
+        assert "Nothing to show" in html
+        assert "<!DOCTYPE html>" in html
+
+    def test_metrics_only_page(self):
+        html = render_dashboard(metrics_text=clean_scrape())
+        assert "Service-level objectives" in html
+        # Status is icon + label, never colour alone.
+        assert "✓ all ok" in html
+        assert "BURNING" not in html
+        # Histogram family gets a quantile row; raw scrape is included.
+        assert "service_request_seconds" in html
+        assert "Raw Prometheus exposition" in html
+
+    def test_burning_slo_is_flagged(self):
+        html = render_dashboard(metrics_text=burning_scrape())
+        assert "✗" in html and "BURNING" in html
+        assert "1 burning" in html
+
+    def test_bundle_tables_and_tiles(self):
+        html = render_dashboard(bundle=FakeBundle())
+        assert "All cells verified" in html and "✓ yes" in html
+        assert "0.500" in html and "sublogarithmic" in html
+        # Table titles are HTML-escaped.
+        assert "Scaling &lt;table&gt;" in html
+        assert "<th>n</th>" in html
+
+    def test_unverified_bundle_shows_a_cross(self):
+        html = render_dashboard(bundle=FakeBundle(all_verified=False))
+        assert "✗ NO" in html
+
+    def test_metrics_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c_total", "x", ("verb",)
+        ).labels(verb="<script>alert(1)</script>").inc()
+        html = render_dashboard(metrics_text=registry.render())
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_title_is_escaped(self):
+        html = render_dashboard(
+            metrics_text=clean_scrape(), title="<b>sweep</b>"
+        )
+        assert "<title>&lt;b&gt;sweep&lt;/b&gt;</title>" in html
+
+
+class TestBurnCheckScript:
+    def run_check(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(BURN_CHECK), *map(str, argv)],
+            capture_output=True, text=True,
+        )
+
+    def test_clean_scrape_passes(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(clean_scrape(), encoding="utf-8")
+        proc = self.run_check(scrape)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "BURNING" not in proc.stdout
+
+    def test_burning_scrape_fails(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(burning_scrape(), encoding="utf-8")
+        proc = self.run_check(scrape)
+        assert proc.returncode == 1
+        assert "BURNING" in proc.stdout
+        assert "zero-dropped-records" in proc.stdout
+
+    def test_unreadable_scrape_is_exit_2(self, tmp_path):
+        assert self.run_check(tmp_path / "missing.prom").returncode == 2
+
+    def test_store_count_match_passes(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(clean_scrape(), encoding="utf-8")  # ingested = 3
+        store = tmp_path / "results.jsonl"
+        store.write_text('{"a":1}\n{"a":2}\n{"a":3}\n', encoding="utf-8")
+        proc = self.run_check(scrape, "--store", store)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "ingest-completeness: counter=3 store_records=3" in proc.stdout
+
+    def test_store_count_mismatch_burns(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(clean_scrape(), encoding="utf-8")  # ingested = 3
+        store = tmp_path / "results.jsonl"
+        store.write_text('{"a":1}\n', encoding="utf-8")
+        proc = self.run_check(scrape, "--store", store)
+        assert proc.returncode == 1
+        assert "counter=3 store_records=1" in proc.stdout
+
+    def test_store_without_ingest_counter_burns(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(burning_scrape(), encoding="utf-8")
+        store = tmp_path / "results.jsonl"
+        store.write_text("", encoding="utf-8")
+        proc = self.run_check(scrape, "--store", store)
+        assert proc.returncode == 1
+        assert "no collector_records_ingested_total" in proc.stdout
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="requires Unix-domain sockets"
+)
+class TestMetricsAndDashboardCLI:
+    @pytest.fixture()
+    def collector(self, tmp_path):
+        collector = ResultCollector(
+            out=tmp_path / "central",
+            socket_path=tmp_path / "obs.sock",
+            token=TOKEN,
+        )
+        collector.start()
+        yield collector
+        collector.close()
+
+    def test_metrics_scrape_to_file(self, collector, tmp_path, capsys):
+        out = tmp_path / "scrapes" / "metrics.prom"
+        code = main([
+            "metrics", "--connect", str(collector.socket_path),
+            "--token", TOKEN, "--out", str(out),
+        ])
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert "# TYPE collector_records_ingested_total counter" in text
+        assert "collector_uptime_seconds" in text
+
+    def test_metrics_scrape_to_stdout(self, collector, capsys):
+        code = main([
+            "metrics", "--connect", str(collector.socket_path), "--token", TOKEN,
+        ])
+        assert code == 0
+        assert "# HELP collector_records_total" in capsys.readouterr().out
+
+    def test_metrics_bad_endpoint_is_exit_2(self, tmp_path, capsys):
+        code = main(["metrics", "--connect", str(tmp_path / "nope.sock")])
+        assert code == 2
+
+    def test_dashboard_from_saved_scrape(self, tmp_path, capsys):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(clean_scrape(), encoding="utf-8")
+        html_path = tmp_path / "pages" / "dash.html"
+        code = main([
+            "dashboard", "--no-report", "--metrics", str(scrape),
+            "--html", str(html_path), "--title", "CI snapshot",
+        ])
+        assert code == 0
+        html = html_path.read_text(encoding="utf-8")
+        assert "<title>CI snapshot</title>" in html
+        assert "Service-level objectives" in html
+
+    def test_dashboard_from_live_collector(self, collector, tmp_path, capsys):
+        html_path = tmp_path / "dash.html"
+        code = main([
+            "dashboard", "--no-report", "--connect", str(collector.socket_path),
+            "--token", TOKEN, "--html", str(html_path),
+        ])
+        assert code == 0
+        assert "collector_uptime_seconds" in html_path.read_text(encoding="utf-8")
+
+    def test_dashboard_metrics_and_connect_conflict(self, tmp_path, capsys):
+        code = main([
+            "dashboard", "--metrics", "x.prom", "--connect", "y.sock",
+            "--html", str(tmp_path / "dash.html"),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dashboard_with_nothing_to_render_is_exit_2(self, tmp_path, capsys):
+        code = main([
+            "dashboard", "--out", str(tmp_path / "empty-store"),
+            "--html", str(tmp_path / "dash.html"),
+        ])
+        assert code == 2
+        assert "nothing to render" in capsys.readouterr().err
+
+    def test_dashboard_over_a_result_store(self, tmp_path, capsys):
+        """The report path: analytic cells are cheap to run for real."""
+        store = ResultStore(tmp_path / "store")
+        suite = get_suite("paper-claims")
+        cells = [c for c in suite.cells() if c.generator == ANALYTIC_GENERATOR]
+        assert cells
+        for cell in cells[:4]:
+            store.append(run_cell("analytic-only", cell))
+        html_path = tmp_path / "dash.html"
+        code = main([
+            "dashboard", "--out", str(tmp_path / "store"),
+            "--html", str(html_path),
+        ])
+        assert code == 0
+        html = html_path.read_text(encoding="utf-8")
+        assert "All cells verified" in html
+        assert "Per-scenario detail" in html

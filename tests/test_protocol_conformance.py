@@ -498,3 +498,91 @@ class TestAuthentication:
         server = LineServer(lambda r: ok_response())
         with pytest.raises(ServiceError, match="REPRO_SERVICE_TOKEN"):
             server.listen_tcp("127.0.0.1", 0)
+
+
+class TestMetricsVerb:
+    """The ``metrics`` verb round-trips valid Prometheus text on both
+    transports, served by a real verb table (the collector's)."""
+
+    @pytest.fixture()
+    def collector(self, transport, tmp_path):
+        from repro.service.collector import ResultCollector
+
+        if transport == "unix":
+            served = ResultCollector(
+                out=tmp_path / "store",
+                socket_path=tmp_path / "metrics.sock",
+                token=TOKEN,
+            )
+            served.start()
+            endpoint = parse_endpoint(tmp_path / "metrics.sock")
+        else:
+            served = ResultCollector(
+                out=tmp_path / "store", listen="127.0.0.1:0", token=TOKEN
+            )
+            served.start()
+            host, port = served.tcp_address
+            endpoint = parse_endpoint(f"{host}:{port}")
+        yield served, endpoint
+        served.close()
+
+    def test_metrics_round_trip(self, collector):
+        from repro.obs import parse_exposition
+
+        _, endpoint = collector
+        sock = open_connection(endpoint)
+        try:
+            with sock.makefile("rb") as reader:
+                sock.sendall(framed({"op": "ping"}, endpoint))
+                assert recv_message(reader)["ok"] is True
+                sock.sendall(framed({"op": "metrics"}, endpoint))
+                response = recv_message(reader)
+        finally:
+            sock.close()
+        assert response["ok"] is True
+        text = response["metrics"]
+        # Valid exposition: parses in full, and self-describes with
+        # HELP/TYPE comment lines.
+        samples = parse_exposition(text)
+        assert "# HELP service_requests_total " in text
+        assert "# TYPE service_request_seconds histogram" in text
+        # The ping we just made is counted under its own verb label.
+        assert any(
+            sample.name == "service_requests_total"
+            and sample.label("verb") == "ping"
+            and sample.label("outcome") == "ok"
+            and sample.value >= 1
+            for sample in samples
+        ), [s for s in samples if s.name == "service_requests_total"]
+
+    def test_unknown_verbs_clamp_to_other(self, collector):
+        from repro.obs import parse_exposition
+
+        _, endpoint = collector
+        sock = open_connection(endpoint)
+        try:
+            with sock.makefile("rb") as reader:
+                sock.sendall(framed({"op": "mint-a-label-a"}, endpoint))
+                assert recv_message(reader)["ok"] is False
+                sock.sendall(framed({"op": "mint-a-label-b"}, endpoint))
+                assert recv_message(reader)["ok"] is False
+                sock.sendall(framed({"op": "metrics"}, endpoint))
+                response = recv_message(reader)
+        finally:
+            sock.close()
+        samples = parse_exposition(response["metrics"])
+        verbs = {
+            sample.label("verb")
+            for sample in samples
+            if sample.name == "service_requests_total"
+        }
+        # Arbitrary op strings must not mint label values.
+        assert "mint-a-label-a" not in verbs
+        assert "mint-a-label-b" not in verbs
+        assert any(
+            sample.name == "service_requests_total"
+            and sample.label("verb") == "other"
+            and sample.label("outcome") == "error"
+            and sample.value == 2
+            for sample in samples
+        )

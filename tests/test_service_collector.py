@@ -577,3 +577,47 @@ class TestCollectorSink:
             sink.close()
             second.close()
         assert {r["seed"] for r in ResultStore(tmp_path / "c").records()} == {1, 2}
+
+
+class TestObservability:
+    def test_status_reports_uptime_and_rates(self, collector):
+        client = collector_client(collector)
+        client.push([make_result(1).to_record()])
+        status = client.status()
+        assert status["uptime_s"] > 0
+        assert status["records_per_s"] > 0
+        assert status["accepted"] == 1
+
+    def test_metrics_verb_tracks_ingest_fates(self, collector):
+        from repro.obs import parse_exposition
+        from repro.obs.metrics import samples_named, sum_samples
+
+        client = collector_client(collector)
+        client.push([make_result(seed).to_record() for seed in (1, 2)])
+        # unverified duplicate loses to the verified record -> dropped
+        client.push([make_result(1, verified=False).to_record()])
+        # equal-rank duplicate with a different payload -> conflict (kept)
+        client.push([make_result(1, rounds=99.0).to_record()])
+        samples = parse_exposition(client.metrics())
+
+        # ingested counts store *appends* only — the dropped record must
+        # not tick it, so it always equals the store's line count (the
+        # CI burn check pins exactly this)
+        assert sum_samples(samples, "collector_records_ingested_total") == 3
+        store_lines = [
+            line
+            for line in collector.store.path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(store_lines) == 3
+        fates = {
+            sample.label("fate"): sample.value
+            for sample in samples_named(samples, "collector_records_total")
+        }
+        assert fates == {"accepted": 2, "dropped": 1, "conflict": 1}
+        # push-batch size histogram saw batches of 2, 1 and 1
+        assert sum_samples(samples, "collector_push_batch_records_count") == 3
+        assert sum_samples(samples, "collector_push_batch_records_sum") == 4
+        # per-stream lag gauge is present once a push has arrived
+        lag = samples_named(samples, "collector_seconds_since_last_push")
+        assert len(lag) == 1 and lag[0].value >= 0

@@ -340,3 +340,61 @@ class TestProtocol:
                     assert recv_message(reader)["ok"] is True
         finally:
             sock.close()
+
+
+class TestObservability:
+    def test_whole_daemon_status_reports_rates(self, client, tmp_path):
+        job = client.submit("paper-claims", smoke=True, out=str(tmp_path / "x"))
+        client.wait(job, timeout=120)
+        overview = client.status()
+        assert overview["uptime_s"] > 0
+        assert overview["queue_depth"] == 0
+        assert overview["cells_per_s"] > 0
+
+    def test_metrics_verb_covers_daemon_pool_and_server(self, client, tmp_path):
+        from repro.obs import parse_exposition
+        from repro.obs.metrics import samples_named, sum_samples
+
+        job = client.submit("paper-claims", smoke=True, out=str(tmp_path / "x"))
+        client.wait(job, timeout=120)
+        samples = parse_exposition(client.metrics())
+
+        executed = len(get_suite("paper-claims").cells(smoke=True))
+        assert sum_samples(samples, "daemon_cells_completed_total") == executed
+        # phase breakdowns cross the worker-process boundary on CellResult
+        phases = {
+            sample.label("phase")
+            for sample in samples_named(samples, "daemon_cell_phase_seconds_count")
+        }
+        assert {"generate", "run", "verify"} <= phases
+        # done-job gauge and the pool/server layers are all in one scrape
+        done = [
+            sample.value
+            for sample in samples_named(samples, "daemon_jobs")
+            if sample.label("state") == "done"
+        ]
+        assert done == [1]
+        assert sum_samples(samples, "pool_cells_executed_total") == executed
+        submits = [
+            sample
+            for sample in samples_named(samples, "service_requests_total")
+            if sample.label("verb") == "submit"
+        ]
+        assert submits and sum_samples(submits, "service_requests_total") == 1
+        assert sum_samples(samples, "service_request_seconds_count") > 0
+
+    def test_ping_does_not_inflate_latency_histograms(self, client):
+        """ping stays cheap: it is counted, and nothing about the metrics
+        path mutates job state."""
+        from repro.obs import parse_exposition
+        from repro.obs.metrics import samples_named
+
+        client.ping()
+        client.ping()
+        samples = parse_exposition(client.metrics())
+        pings = [
+            sample.value
+            for sample in samples_named(samples, "service_requests_total")
+            if sample.label("verb") == "ping" and sample.label("outcome") == "ok"
+        ]
+        assert pings == [2]

@@ -40,6 +40,7 @@ def normalized(store: ResultStore) -> dict[str, dict]:
     for record in store.records():
         record = dict(record)
         record["wall_clock_s"] = 0.0
+        record["timings"] = None
         out[record["fingerprint"]] = record
     return out
 

@@ -126,6 +126,7 @@ def _normalized_records(store: ResultStore) -> dict[str, dict]:
     for record in store.records():
         record = dict(record)
         record["wall_clock_s"] = 0.0
+        record["timings"] = None
         normalized[record["fingerprint"]] = record
     return normalized
 
@@ -165,7 +166,8 @@ class TestShardMergeReportEquivalence:
         # the wall-clock columns are normalised away.
         def rendered(store):
             records = [
-                dict(record, wall_clock_s=0.0) for record in store.records()
+                dict(record, wall_clock_s=0.0, timings=None)
+                for record in store.records()
             ]
             return build_report(records).render()
 
