@@ -44,6 +44,7 @@ rebuilds the scaling tables and log-power fits from the store alone.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -57,6 +58,16 @@ from repro.experiments.store import (
     merge_result_files,
 )
 from repro.experiments.shard import ShardSpec
+from repro.obs.metrics import parse_exposition_types
+from repro.obs.timeseries import (
+    DEFAULT_SCRAPE_INTERVAL_S,
+    ScrapePoint,
+    load_history_jsonl,
+    parse_duration,
+    points_from_payload,
+    points_in_window,
+    windowed_quantile,
+)
 from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.collector import ResultCollector
 from repro.service.daemon import DEFAULT_SOCKET, SweepDaemon
@@ -99,6 +110,26 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _duration(text: str) -> float:
+    try:
+        return parse_duration(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+_duration.__name__ = "duration"
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
     return value
 
 
@@ -172,7 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--connect host:port] --html page.html`\n  renders the report "
             "bundle plus a scrape to one static HTML page (stat tiles,\n  "
             "scaling/fit tables, SLO verdicts) — CI uploads it as the "
-            "`dashboard` artifact."
+            "`dashboard` artifact.\n"
+            "\n"
+            "time-series telemetry:\n"
+            "  Each service retains a ring buffer of metric scrapes "
+            "(snapshotted every\n  `--scrape-interval` seconds; 0 disables; "
+            "`--history-spill FILE` mirrors each\n  snapshot to JSONL) and "
+            "serves it over a `metrics_history` verb on both\n  transports.  "
+            "`metrics --connect host:port --history [--window 5m] "
+            "[--out h.jsonl]`\n  prints windowed counter rates, gauge deltas "
+            "and histogram quantiles, or saves\n  the raw points as JSONL.  "
+            "`scripts/slo_burn_check.py --history h.jsonl\n  [--window 5m]` "
+            "evaluates dual-window (fast/slow) SLO burn rates — exit 1 means\n"
+            "  burning, 3 means no data.  `dashboard --history h.jsonl` adds "
+            "sparkline trend\n  rows and the dual-window burn table "
+            "(`--connect` fetches the live history\n  automatically).  "
+            "`dashboard --diff old.prom new.prom` and `dashboard\n  "
+            "--diff-bench BENCH_engine.json fresh.json [--max-regression 2.0]` "
+            "render\n  regression-highlighted diff pages and exit 1 on "
+            "regression — CI gates each PR's\n  bench run against the "
+            "committed BENCH_engine.json trajectory and uploads the\n  page "
+            "as the `bench-diff` artifact."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -266,6 +317,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--token", default=None,
         help=f"shared auth token for the TCP listener (default: ${AUTH_TOKEN_ENV})",
     )
+    serve.add_argument(
+        "--scrape-interval", type=_nonnegative_float,
+        default=DEFAULT_SCRAPE_INTERVAL_S, metavar="SECONDS",
+        help="seconds between metrics-history snapshots served by the "
+        "metrics_history verb (0 disables the background scraper; "
+        f"default: {DEFAULT_SCRAPE_INTERVAL_S:g})",
+    )
+    serve.add_argument(
+        "--history-spill", default=None, metavar="FILE",
+        help="append each history snapshot to FILE as JSONL (readable by "
+        "`dashboard --history` and `scripts/slo_burn_check.py --history`)",
+    )
 
     collect = sub.add_parser(
         "collect", help="run a result collector: stream sharded sweep results "
@@ -287,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--token", default=None,
         help=f"shared auth token for the TCP listener (default: ${AUTH_TOKEN_ENV})",
+    )
+    collect.add_argument(
+        "--scrape-interval", type=_nonnegative_float,
+        default=DEFAULT_SCRAPE_INTERVAL_S, metavar="SECONDS",
+        help="seconds between metrics-history snapshots served by the "
+        "metrics_history verb (0 disables the background scraper; "
+        f"default: {DEFAULT_SCRAPE_INTERVAL_S:g})",
+    )
+    collect.add_argument(
+        "--history-spill", default=None, metavar="FILE",
+        help="append each history snapshot to FILE as JSONL (readable by "
+        "`dashboard --history` and `scripts/slo_burn_check.py --history`)",
     )
 
     submit = sub.add_parser(
@@ -361,7 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument(
         "--out", default=None, metavar="FILE",
-        help="write the exposition to FILE instead of stdout",
+        help="write the exposition (or, with --history, the history points "
+        "as JSONL) to FILE instead of stdout",
+    )
+    metrics.add_argument(
+        "--history", action="store_true",
+        help="fetch the retained scrape history (metrics_history verb) "
+        "instead of one exposition: prints windowed counter rates, gauge "
+        "deltas and histogram quantiles, or writes the raw points as JSONL "
+        "with --out",
+    )
+    metrics.add_argument(
+        "--window", type=_duration, default=None, metavar="DURATION",
+        help="with --history: only points from the trailing window, "
+        "e.g. 5m, 90s, 1h (default: everything retained)",
     )
 
     dashboard = sub.add_parser(
@@ -395,8 +483,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="output HTML path (default: dashboard.html)",
     )
     dashboard.add_argument(
-        "--title", default="Sweep observability dashboard",
-        help="page title",
+        "--title", default=None,
+        help="page title (default: per-mode)",
+    )
+    dashboard.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="a scrape-history JSONL file (from `metrics --history --out` or "
+        "a `--history-spill`) to render as sparkline trends plus the "
+        "dual-window SLO burn table",
+    )
+    dashboard.add_argument(
+        "--window", type=_duration, default=None, metavar="DURATION",
+        help="with --history/--connect: restrict the history to the "
+        "trailing window, e.g. 5m",
+    )
+    dashboard.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A.prom", "B.prom"),
+        help="render a metrics diff page between two saved scrapes instead "
+        "of a dashboard; exits 1 when a regression is highlighted",
+    )
+    dashboard.add_argument(
+        "--diff-bench", nargs=2, default=None, metavar=("OLD.json", "NEW.json"),
+        help="render a bench trajectory diff page between two bench JSON "
+        "payloads; exits 1 when a gated entry regresses past --max-regression",
+    )
+    dashboard.add_argument(
+        "--max-regression", type=_nonnegative_float, default=2.0,
+        metavar="FACTOR",
+        help="--diff-bench: wall-clock ratio above which an entry is a "
+        "regression (default: 2.0)",
+    )
+    dashboard.add_argument(
+        "--min-wall", type=_nonnegative_float, default=0.05, metavar="SECONDS",
+        help="--diff-bench: entries with either wall clock below this noise "
+        "floor are reported but never gate (default: 0.05)",
     )
     return parser
 
@@ -588,6 +708,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         daemon = SweepDaemon(
             socket_path=args.socket, workers=args.workers,
             batch_size=args.batch_size, listen=args.listen, token=args.token,
+            scrape_interval_s=args.scrape_interval,
+            history_spill=args.history_spill,
         )
         daemon.start()
     except (ValueError, RuntimeError, OSError) as error:
@@ -601,8 +723,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = daemon.tcp_address
         print(f"TCP listener: {host}:{port} (token-authenticated)")
     print(
-        "verbs: submit / status / results / report / metrics / shutdown  "
-        "(ctrl-c also stops)"
+        "verbs: submit / status / results / report / metrics / "
+        "metrics_history / shutdown  (ctrl-c also stops)"
     )
     try:
         daemon.serve_forever()
@@ -616,7 +738,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     try:
         collector = ResultCollector(
             out=args.out, listen=args.listen, socket_path=args.socket,
-            token=args.token,
+            token=args.token, scrape_interval_s=args.scrape_interval,
+            history_spill=args.history_spill,
         )
         collector.start()
     except (ValueError, RuntimeError, OSError) as error:
@@ -630,7 +753,10 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         endpoints.append(str(args.socket))
     print(f"result collector: {' and '.join(endpoints)}")
     print(f"store: {collector.store.path}")
-    print("verbs: push / status / report / metrics / shutdown  (ctrl-c also stops)")
+    print(
+        "verbs: push / status / report / metrics / metrics_history / "
+        "shutdown  (ctrl-c also stops)"
+    )
     try:
         collector.serve_forever()
     except KeyboardInterrupt:
@@ -690,15 +816,123 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _history_summary(
+    points: list[ScrapePoint], payload: dict
+) -> list[str]:
+    """Human-readable windowed queries over fetched history points."""
+    lines = []
+    retained = payload.get("retained", len(points))
+    interval = payload.get("interval_s")
+    note = " (truncated to the response cap)" if payload.get("truncated") else ""
+    header = f"history: {len(points)} of {retained} retained point(s)"
+    if interval:
+        header += f", scrape interval {interval:g}s"
+    lines.append(header + note)
+    if len(points) < 2:
+        lines.append(
+            "fewer than two points — no windowed queries yet; latest scrape:"
+        )
+        if points:
+            lines.append(points[-1].text.rstrip("\n"))
+        return lines
+    first, last = points[0], points[-1]
+    span = last.unix_s - first.unix_s
+    lines.append(f"window: {span:g}s across {len(points)} scrapes")
+    types = parse_exposition_types(last.text)
+    histograms = sorted(n for n, kind in types.items() if kind == "histogram")
+
+    def scalar_map(point: ScrapePoint) -> dict:
+        out: dict = {}
+        for sample in point.samples:
+            if any(key == "le" for key, _ in sample.labels):
+                continue
+            key = (sample.name, sample.labels)
+            out[key] = out.get(key, 0.0) + sample.value
+        return out
+
+    def is_histogram_series(name: str) -> bool:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in histograms:
+                return True
+        return False
+
+    start, end = scalar_map(first), scalar_map(last)
+    counter_lines, gauge_lines = [], []
+    for name, labels in sorted(end):
+        if is_histogram_series(name):
+            continue
+        label_text = (
+            "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+            if labels else ""
+        )
+        value = end[(name, labels)]
+        kind = types.get(name)
+        if kind == "counter":
+            increase = value - start.get((name, labels), 0.0)
+            if increase < 0:
+                counter_lines.append(
+                    f"  {name}{label_text}  reset mid-window "
+                    f"(latest cumulative: {value:g})"
+                )
+            elif increase > 0:
+                counter_lines.append(
+                    f"  {name}{label_text}  +{increase:g} "
+                    f"({increase / span:.3g}/s)"
+                )
+        elif kind == "gauge":
+            before = start.get((name, labels))
+            delta_text = (
+                "new series" if before is None else f"Δ {value - before:+g}"
+            )
+            gauge_lines.append(f"  {name}{label_text}  {value:g} ({delta_text})")
+    lines.append("counter increases over the window:" +
+                 ("" if counter_lines else " none"))
+    lines.extend(counter_lines)
+    if gauge_lines:
+        lines.append("gauges (latest value, change over the window):")
+        lines.extend(gauge_lines)
+    for name in histograms:
+        quantile_parts = []
+        for q in (0.5, 0.9, 0.99):
+            value = windowed_quantile(points, name, q)
+            quantile_parts.append(
+                f"p{int(q * 100)}=" + ("n/a" if value is None else f"{value:g}")
+            )
+        lines.append(f"histogram {name} (windowed): " + " ".join(quantile_parts))
+    return lines
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.window is not None and not args.history:
+        print("--window requires --history", file=sys.stderr)
+        return 2
     client = _make_client(args.connect, args.token)
     if isinstance(client, int):
         return client
     try:
-        text = client.metrics()
+        if args.history:
+            payload = client.metrics_history(window_s=args.window)
+        else:
+            text = client.metrics()
     except ServiceError as error:
-        print(str(error), file=sys.stderr)
+        print(
+            f"metrics scrape from {args.connect} failed: {error}",
+            file=sys.stderr,
+        )
         return 2
+    if args.history:
+        points = points_from_payload(payload)
+        if args.out:
+            out = Path(args.out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            with out.open("w", encoding="utf-8") as handle:
+                for point in points:
+                    handle.write(json.dumps(point.to_record()) + "\n")
+            print(f"wrote {args.out} ({len(points)} point(s))")
+        else:
+            for line in _history_summary(points, payload):
+                print(line)
+        return 0
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
         Path(args.out).write_text(text, encoding="utf-8")
@@ -708,15 +942,117 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_json(path: str):
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ValueError(str(error)) from None
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from None
+
+
+def _write_html(args: argparse.Namespace, html: str) -> None:
+    out_path = Path(args.html)
+    if out_path.parent != Path("."):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(html, encoding="utf-8")
+    print(f"wrote {out_path}")
+
+
+def _cmd_dashboard_diff(args: argparse.Namespace) -> int:
+    """``dashboard --diff`` / ``--diff-bench``: regression-highlighted pages."""
+    from repro.obs.dashboard import (
+        diff_bench_payloads,
+        render_bench_diff,
+        render_metrics_diff,
+    )
+
+    title_kwargs = {} if args.title is None else {"title": args.title}
+    if args.diff is not None:
+        path_a, path_b = args.diff
+        try:
+            text_a = Path(path_a).read_text(encoding="utf-8")
+            text_b = Path(path_b).read_text(encoding="utf-8")
+        except OSError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        html, regressions = render_metrics_diff(
+            text_a, text_b, label_a=path_a, label_b=path_b, **title_kwargs
+        )
+        _write_html(args, html)
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        if not regressions:
+            print("no regressions between the two scrapes")
+        return 1 if regressions else 0
+    path_old, path_new = args.diff_bench
+    try:
+        diff = diff_bench_payloads(
+            _read_json(path_old), _read_json(path_new),
+            max_regression=args.max_regression, min_wall_s=args.min_wall,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    html = render_bench_diff(
+        diff, label_old=path_old, label_new=path_new, **title_kwargs
+    )
+    _write_html(args, html)
+    for row in diff.regressions:
+        print(
+            f"REGRESSION {row.scenario} [{row.engine}] n={row.n}: "
+            f"{row.old_wall_s:.3f}s -> {row.new_wall_s:.3f}s "
+            f"({row.ratio:.2f}x > {args.max_regression:g}x)"
+        )
+    if not diff.regressions:
+        print(
+            f"no gated regression beyond {args.max_regression:g}x across "
+            f"{len(diff.rows)} compared entries"
+        )
+    return 1 if diff.regressions else 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     # Imported here, not at module top: the dashboard is presentation
     # and nothing else in the CLI should pay for it.
+    if args.diff is not None and args.diff_bench is not None:
+        print("--diff and --diff-bench are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.diff is not None or args.diff_bench is not None:
+        return _cmd_dashboard_diff(args)
+
     from repro.obs.dashboard import render_dashboard
 
     if args.metrics is not None and args.connect is not None:
         print("--metrics and --connect are mutually exclusive", file=sys.stderr)
         return 2
+    if args.history is not None and args.connect is not None:
+        print(
+            "--history and --connect are mutually exclusive "
+            "(--connect already fetches the live history)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.window is not None and args.history is None and args.connect is None:
+        print("--window requires --history or --connect", file=sys.stderr)
+        return 2
     metrics_text = None
+    history_points = None
+    if args.history is not None:
+        try:
+            history_points = load_history_jsonl(args.history)
+        except (OSError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.window is not None:
+            history_points = points_in_window(history_points, args.window)
+        if not history_points:
+            print(
+                f"{args.history}: no history points"
+                + (" within the trailing window" if args.window else ""),
+                file=sys.stderr,
+            )
+            return 2
     if args.metrics is not None:
         try:
             metrics_text = Path(args.metrics).read_text(encoding="utf-8")
@@ -730,29 +1066,36 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         try:
             metrics_text = client.metrics()
         except ServiceError as error:
-            print(str(error), file=sys.stderr)
+            print(
+                f"metrics scrape from {args.connect} failed: {error}",
+                file=sys.stderr,
+            )
             return 2
+        try:
+            payload = client.metrics_history(window_s=args.window)
+            history_points = points_from_payload(payload) or None
+        except ServiceError:
+            # Best-effort: a server without the verb still dashboards.
+            history_points = None
     bundle = None
     if not args.no_report:
         records = ResultStore(args.out).records()
         if records:
             bundle = build_report(records)
-        elif metrics_text is None:
+        elif metrics_text is None and history_points is None:
             print(
                 f"no stored results under {ResultStore(args.out).path} and no "
                 "metrics source — nothing to render "
-                "(pass --metrics/--connect or run a suite first)",
+                "(pass --metrics/--connect/--history or run a suite first)",
                 file=sys.stderr,
             )
             return 2
+    title_kwargs = {} if args.title is None else {"title": args.title}
     html = render_dashboard(
-        bundle=bundle, metrics_text=metrics_text, title=args.title
+        bundle=bundle, metrics_text=metrics_text, history=history_points,
+        **title_kwargs,
     )
-    out_path = Path(args.html)
-    if out_path.parent != Path("."):
-        out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(html, encoding="utf-8")
-    print(f"wrote {out_path}")
+    _write_html(args, html)
     return 0
 
 

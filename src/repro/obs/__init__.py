@@ -17,9 +17,29 @@ from repro.obs.metrics import (
     Sample,
     histogram_quantile,
     parse_exposition,
+    parse_exposition_types,
 )
-from repro.obs.slo import DEFAULT_SLOS, SLO, SLOResult, evaluate_slos
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLO,
+    SLOBurnResult,
+    SLOResult,
+    Window,
+    evaluate_slos,
+    evaluate_slos_windowed,
+)
 from repro.obs.spans import PhaseTimer, record_phase, span
+from repro.obs.timeseries import (
+    ScrapeHistory,
+    ScrapePoint,
+    counter_increase,
+    counter_rate,
+    gauge_delta,
+    load_history_jsonl,
+    parse_duration,
+    points_from_payload,
+    windowed_quantile,
+)
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -30,11 +50,24 @@ __all__ = [
     "MetricsRegistry",
     "PhaseTimer",
     "SLO",
+    "SLOBurnResult",
     "SLOResult",
     "Sample",
+    "ScrapeHistory",
+    "ScrapePoint",
+    "Window",
+    "counter_increase",
+    "counter_rate",
     "evaluate_slos",
+    "evaluate_slos_windowed",
+    "gauge_delta",
     "histogram_quantile",
+    "load_history_jsonl",
+    "parse_duration",
     "parse_exposition",
+    "parse_exposition_types",
+    "points_from_payload",
     "record_phase",
     "span",
+    "windowed_quantile",
 ]

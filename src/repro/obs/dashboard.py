@@ -1,30 +1,59 @@
-"""Static HTML dashboard: report bundle tables + scraped metrics.
+"""Static HTML dashboards: report tables, scraped metrics, trends, diffs.
 
 ``render_dashboard`` takes the pieces the ``dashboard`` CLI subcommand
 gathers — an optional :class:`~repro.experiments.report.ReportBundle`
 (duck-typed: anything with ``scaling`` / ``fits`` / ``scenario_tables``
-tables, ``theorem3_beta`` and ``all_verified``) and an optional
-Prometheus exposition string — and emits one self-contained HTML page.
-CI uploads it as the ``dashboard`` artifact.
+tables, ``theorem3_beta`` and ``all_verified``), an optional Prometheus
+exposition string, and optional retained scrape history — and emits one
+self-contained HTML page.  CI uploads it as the ``dashboard`` artifact.
+With history the page gains inline-SVG sparklines (counter rates, gauge
+values over the retained window) and the dual-window SLO burn table.
 
-Everything is a stat tile or a table, no charts: the quantities here
+``render_metrics_diff`` (``dashboard --diff A.prom B.prom``) and
+``render_bench_diff`` (``dashboard --diff-bench OLD.json NEW.json``)
+are the cross-run views: per-metric deltas between two scrapes, and
+per-(scenario, engine, n) wall-clock ratios between two canonical
+``BENCH_*.json`` payloads with regressions highlighted — the page CI
+uploads as the ``bench-diff`` artifact when gating a PR's bench run
+against the committed trajectory.
+
+Everything is a stat tile, a table, or a sparkline: the quantities here
 (verdicts, fits, per-size means, counter totals, histogram quantiles)
-are headline numbers and enumerable rows, which read better as text
-than as marks.  Status is always icon + label, never colour alone; text
-stays in the ink tokens; dark mode derives from ``prefers-color-scheme``.
-Every interpolated value is HTML-escaped.
+are headline numbers and enumerable rows.  Status is always icon +
+label, never colour alone; text stays in the ink tokens; dark mode
+derives from ``prefers-color-scheme``.  Every interpolated value is
+HTML-escaped; sparkline geometry is numeric and needs none.
 """
 
 from __future__ import annotations
 
 import html
 import math
-from typing import Any, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
-from repro.obs.metrics import Sample, histogram_quantile, parse_exposition
-from repro.obs.slo import DEFAULT_SLOS, SLOResult, evaluate_slos
+from repro.obs.metrics import (
+    Sample,
+    histogram_quantile,
+    parse_exposition,
+    parse_exposition_types,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLOResult,
+    evaluate_slos,
+    evaluate_slos_windowed,
+)
+from repro.obs.timeseries import ScrapePoint, points_in_window
 
-__all__ = ["render_dashboard"]
+__all__ = [
+    "BenchDiff",
+    "BenchEntryDiff",
+    "diff_bench_payloads",
+    "render_bench_diff",
+    "render_dashboard",
+    "render_metrics_diff",
+]
 
 _STYLE = """
 :root {
@@ -74,6 +103,8 @@ pre {
 }
 .status { white-space: nowrap; }
 .muted { color: var(--ink-3); }
+.spark { color: var(--ink-2); vertical-align: middle; }
+tr.regression td { font-weight: 600; }
 """
 
 
@@ -109,12 +140,20 @@ def _table_html(table: Any) -> str:
     )
 
 
-def _rows_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+def _rows_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    row_classes: Sequence[str | None] | None = None,
+) -> str:
     """A table from pre-escaped-or-escapable plain rows."""
     head = "".join(f"<th>{_esc(column)}</th>" for column in columns)
+    classes = row_classes if row_classes is not None else [None] * len(rows)
     body = "".join(
-        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
-        for row in rows
+        (f'<tr class="{_esc(cls)}">' if cls else "<tr>")
+        + "".join(f"<td>{cell}</td>" for cell in row)
+        + "</tr>"
+        for row, cls in zip(rows, classes)
     )
     return (
         f"<table><caption>{_esc(title)}</caption>"
@@ -231,14 +270,185 @@ def _metrics_section(metrics_text: str) -> tuple[str, list[SLOResult]]:
     return "".join(parts), slo_results
 
 
+# ----------------------------------------------------------------------
+# trends: sparklines + dual-window SLO burn over retained history
+# ----------------------------------------------------------------------
+
+#: Sparkline rows rendered per page; beyond this the table notes the cut.
+_MAX_SPARKLINE_ROWS = 60
+
+
+def _sparkline(values: Sequence[float], width: int = 140, height: int = 30) -> str:
+    """An inline SVG line over ``values`` (geometry only — nothing to escape)."""
+    if not values:
+        return '<span class="muted">—</span>'
+    finite = [v for v in values if v == v and abs(v) != math.inf]
+    if not finite:
+        return '<span class="muted">—</span>'
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    count = len(values)
+    step = (width - 2 * pad) / max(count - 1, 1)
+    coords = []
+    for index, value in enumerate(values):
+        clamped = min(max(value, lo), hi)
+        x = pad + index * step
+        y = (height - pad) - (clamped - lo) / span * (height - 2 * pad)
+        coords.append(f"{x:.1f},{y:.1f}")
+    if count == 1:
+        coords.append(f"{width - pad:.1f},{coords[0].split(',')[1]}")
+    points = " ".join(coords)
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="trend over {count} samples">'
+        f'<polyline points="{points}" fill="none" stroke="currentColor" '
+        f'stroke-width="1.5"/></svg>'
+    )
+
+
+def _series_from_history(
+    points: Sequence[ScrapePoint],
+) -> list[tuple[str, str, str, list[float]]]:
+    """Per-series trend data: ``(metric, labels, kind, values)`` rows.
+
+    Counters (and histogram ``_count`` series) plot per-interval rates;
+    gauges plot raw values.  Histogram buckets and sums are skipped —
+    the quantile tables cover them.
+    """
+    types = parse_exposition_types(points[-1].text)
+    histogram_names = {name for name, kind in types.items() if kind == "histogram"}
+
+    per_point: list[dict[tuple[str, tuple], float]] = []
+    for point in points:
+        values: dict[tuple[str, tuple], float] = {}
+        for sample in point.samples:
+            values[(sample.name, sample.labels)] = (
+                values.get((sample.name, sample.labels), 0.0) + sample.value
+            )
+        per_point.append(values)
+
+    rows: list[tuple[str, str, str, list[float]]] = []
+    for name, labels in sorted(per_point[-1]):
+        base = name
+        kind = types.get(name, "gauge")
+        if name.endswith("_count") and name[: -len("_count")] in histogram_names:
+            base, kind = name[: -len("_count")], "counter"
+        elif name.endswith("_bucket") and name[: -len("_bucket")] in histogram_names:
+            continue
+        elif name.endswith("_sum") and name[: -len("_sum")] in histogram_names:
+            continue
+        key = (name, labels)
+        if kind == "counter":
+            values_out: list[float] = []
+            for index in range(1, len(points)):
+                prev_v = per_point[index - 1].get(key)
+                curr_v = per_point[index].get(key)
+                dt = points[index].unix_s - points[index - 1].unix_s
+                if prev_v is None or curr_v is None or curr_v < prev_v or dt <= 0:
+                    values_out.append(0.0)
+                else:
+                    values_out.append((curr_v - prev_v) / dt)
+            label = "rate/s"
+        else:
+            label = "value"
+            values_out = [
+                values[key] for values in per_point if key in values
+            ]
+        sample = Sample(name=name, labels=labels, value=0.0)
+        rows.append((base if kind == "counter" else name,
+                     _label_text(sample, skip=("le",)), label, values_out))
+    return rows
+
+
+def _history_section(points: Sequence[ScrapePoint]) -> str:
+    ordered = points_in_window(points)
+    span_s = ordered[-1].unix_s - ordered[0].unix_s if len(ordered) > 1 else 0.0
+    parts = [
+        "<h2>Trends (retained scrape history)</h2>",
+        f'<p class="muted">{len(ordered)} retained scrapes spanning '
+        f"{_esc(_format_number(span_s))}s.</p>",
+    ]
+
+    burn = evaluate_slos_windowed(ordered)
+    burn_rows = []
+    for result in burn:
+        burn_rows.append([
+            _esc(result.name),
+            _status(not result.burning, result.status, "BURNING"),
+            _esc(result.fast.detail),
+            _esc(result.slow.detail),
+        ])
+    parts.append(_rows_table(
+        "Dual-window burn: an objective burns only when the fast and "
+        "slow windows agree",
+        ["objective", "status", "fast window", "slow window"],
+        burn_rows,
+    ))
+
+    if len(ordered) >= 2:
+        trend_rows = []
+        series = _series_from_history(ordered)
+        for name, labels, kind, values in series[:_MAX_SPARKLINE_ROWS]:
+            latest = values[-1] if values else 0.0
+            trend_rows.append([
+                _esc(name),
+                _esc(labels),
+                _esc(kind),
+                _esc(_format_number(latest)),
+                _sparkline(values),
+            ])
+        if trend_rows:
+            caption = "Counter rates and gauge values across the retained window"
+            if len(series) > _MAX_SPARKLINE_ROWS:
+                caption += (
+                    f" (first {_MAX_SPARKLINE_ROWS} of {len(series)} series)"
+                )
+            parts.append(_rows_table(
+                caption,
+                ["metric", "labels", "kind", "latest", "trend"],
+                trend_rows,
+            ))
+    else:
+        parts.append('<p class="muted">A single retained scrape has no '
+                     "trend to draw; windowed SLOs fall back to cumulative "
+                     "checks.</p>")
+    return "".join(parts)
+
+
+def _page(title: str, tiles: Sequence[str], sections: Sequence[str]) -> str:
+    tiles_html = f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>{_esc(title)}</h1>
+<p class="subtitle">Static snapshot rendered by <code>repro.experiments dashboard</code>.</p>
+{tiles_html}
+{"".join(sections)}
+</body>
+</html>
+"""
+
+
 def render_dashboard(
     bundle: Any | None = None,
     metrics_text: str | None = None,
     title: str = "Sweep observability dashboard",
+    history: Sequence[ScrapePoint] | None = None,
 ) -> str:
     """One self-contained HTML page from a report bundle and/or a scrape."""
     tiles: list[str] = []
     sections: list[str] = []
+    if history and not metrics_text:
+        # The newest retained point *is* a full scrape.
+        metrics_text = history[-1].text or None
 
     if bundle is not None:
         tiles.append(_tile(
@@ -260,6 +470,16 @@ def render_dashboard(
         sections.append("<h2>Per-scenario detail</h2>")
         sections.extend(_table_html(table) for table in bundle.scenario_tables)
 
+    if history:
+        ordered = points_in_window(history)
+        span_s = ordered[-1].unix_s - ordered[0].unix_s if len(ordered) > 1 else 0.0
+        tiles.append(_tile(
+            "Scrape history",
+            str(len(ordered)),
+            note=f"points over {_format_number(span_s)}s",
+        ))
+        sections.append(_history_section(ordered))
+
     if metrics_text:
         metrics_html, slo_results = _metrics_section(metrics_text)
         burning = [result for result in slo_results if not result.ok]
@@ -275,20 +495,371 @@ def render_dashboard(
         sections.append('<p class="muted">Nothing to show: no report bundle '
                         "and no metrics scrape were provided.</p>")
 
-    tiles_html = f'<div class="tiles">{"".join(tiles)}</div>' if tiles else ""
-    return f"""<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<meta name="viewport" content="width=device-width, initial-scale=1">
-<title>{_esc(title)}</title>
-<style>{_STYLE}</style>
-</head>
-<body>
-<h1>{_esc(title)}</h1>
-<p class="subtitle">Static snapshot rendered by <code>repro.experiments dashboard</code>.</p>
-{tiles_html}
-{"".join(sections)}
-</body>
-</html>
-"""
+    return _page(title, tiles, sections)
+
+
+# ----------------------------------------------------------------------
+# cross-run diffs: two scrapes, two bench trajectories
+# ----------------------------------------------------------------------
+
+#: Counters whose *any* growth between two scrapes is a regression.
+_BAD_COUNTER_DELTAS: tuple[tuple[str, dict[str, str]], ...] = (
+    ("service_malformed_lines_total", {}),
+    ("service_auth_failures_total", {}),
+    ("pool_worker_restarts_total", {}),
+    ("collector_records_total", {"fate": "dropped"}),
+)
+
+#: A p99 that grows past this factor between two scrapes is a regression.
+_P99_REGRESSION_FACTOR = 2.0
+
+
+def _scalar_map(samples: Sequence[Sample]) -> dict[tuple[str, tuple], float]:
+    values: dict[tuple[str, tuple], float] = {}
+    for sample in samples:
+        if sample.name.endswith("_bucket") and sample.label("le") is not None:
+            continue  # buckets are noise here; quantiles cover them
+        key = (sample.name, sample.labels)
+        values[key] = values.get(key, 0.0) + sample.value
+    return values
+
+
+def _pooled_p99(samples: Sequence[Sample], name: str) -> float | None:
+    buckets: dict[float, float] = {}
+    for sample in samples:
+        if sample.name != name + "_bucket":
+            continue
+        le = sample.label("le")
+        if le is None:
+            continue
+        bound = math.inf if le == "+Inf" else float(le)
+        buckets[bound] = buckets.get(bound, 0.0) + sample.value
+    return histogram_quantile(0.99, buckets.items())
+
+
+def render_metrics_diff(
+    text_a: str,
+    text_b: str,
+    label_a: str = "A",
+    label_b: str = "B",
+    title: str = "Metrics diff",
+) -> tuple[str, list[str]]:
+    """Two scrapes side by side: per-series deltas plus regression flags.
+
+    Returns ``(html, regressions)`` where ``regressions`` lists the
+    failure-class counters that grew and the histogram p99s that blew
+    past :data:`_P99_REGRESSION_FACTOR` between A and B.
+    """
+    samples_a = parse_exposition(text_a)
+    samples_b = parse_exposition(text_b)
+    map_a = _scalar_map(samples_a)
+    map_b = _scalar_map(samples_b)
+
+    regressions: list[str] = []
+    bad_keys: set[tuple[str, tuple]] = set()
+    for name, labels in _BAD_COUNTER_DELTAS:
+        matching = [
+            key for key in set(map_a) | set(map_b)
+            if key[0] == name
+            and all(dict(key[1]).get(k) == v for k, v in labels.items())
+        ]
+        before = sum(map_a.get(key, 0.0) for key in matching)
+        after = sum(map_b.get(key, 0.0) for key in matching)
+        if after > before:
+            label_note = "".join(f"{{{k}={v}}}" for k, v in labels.items())
+            regressions.append(
+                f"{name}{label_note} grew {_format_number(before)} → "
+                f"{_format_number(after)}"
+            )
+            bad_keys.update(matching)
+
+    rows = []
+    changed = 0
+    for key in sorted(set(map_a) | set(map_b)):
+        name, labels = key
+        before = map_a.get(key)
+        after = map_b.get(key)
+        delta = (after or 0.0) - (before or 0.0)
+        if before != after:
+            changed += 1
+        if key in bad_keys and (after or 0.0) > (before or 0.0):
+            status = _status(False, "", "REGRESSION")
+        elif before == after:
+            status = '<span class="muted">unchanged</span>'
+        else:
+            status = "changed"
+        sample = Sample(name=name, labels=labels, value=0.0)
+        rows.append([
+            _esc(name),
+            _esc(_label_text(sample)),
+            _esc(_format_number(before)) if before is not None
+            else '<span class="muted">—</span>',
+            _esc(_format_number(after)) if after is not None
+            else '<span class="muted">—</span>',
+            _esc(f"{delta:+g}") if before != after else "",
+            status,
+        ])
+
+    types = parse_exposition_types(text_a + "\n" + text_b)
+    quantile_rows = []
+    for name in sorted(n for n, kind in types.items() if kind == "histogram"):
+        p99_a = _pooled_p99(samples_a, name)
+        p99_b = _pooled_p99(samples_b, name)
+        regressed = (
+            p99_a is not None
+            and p99_b is not None
+            and p99_a > 0
+            and p99_b > p99_a * _P99_REGRESSION_FACTOR
+        )
+        if regressed:
+            regressions.append(
+                f"{name} p99 grew {p99_a:.4f}s → {p99_b:.4f}s "
+                f"(>{_P99_REGRESSION_FACTOR}×)"
+            )
+        quantile_rows.append([
+            _esc(name),
+            _esc(f"{p99_a:.4f}s") if p99_a is not None
+            else '<span class="muted">—</span>',
+            _esc(f"{p99_b:.4f}s") if p99_b is not None
+            else '<span class="muted">—</span>',
+            _status(False, "", "REGRESSION") if regressed
+            else '<span class="muted">ok</span>',
+        ])
+
+    tiles = [
+        _tile(
+            "Verdict",
+            _status(not regressions, "no regressions", f"{len(regressions)} regressions"),
+            raw_value=True,
+        ),
+        _tile("Series compared", str(len(rows)), note=f"{changed} changed"),
+    ]
+    sections = []
+    if regressions:
+        items = "".join(f"<li>{_esc(r)}</li>" for r in regressions)
+        sections.append(f"<h2>Regressions</h2><ul>{items}</ul>")
+    sections.append(f"<h2>Scalar series: {_esc(label_a)} vs {_esc(label_b)}</h2>")
+    sections.append(_rows_table(
+        "Counters, gauges and histogram sums/counts (buckets elided)",
+        ["metric", "labels", label_a, label_b, "Δ", "status"],
+        rows,
+    ))
+    if quantile_rows:
+        sections.append("<h2>Histogram p99 (pooled across labels)</h2>")
+        sections.append(_rows_table(
+            f"A p99 growing more than {_P99_REGRESSION_FACTOR}× regresses",
+            ["histogram", label_a, label_b, "status"],
+            quantile_rows,
+        ))
+    return _page(title, tiles, sections), regressions
+
+
+@dataclass(frozen=True)
+class BenchEntryDiff:
+    """One (scenario, engine, n) cell compared across two bench runs."""
+
+    scenario: str
+    engine: str
+    n: int
+    old_wall_s: float
+    new_wall_s: float
+    ratio: float | None
+    gated: bool  # large enough (>= min_wall_s on both sides) to gate on
+    regression: bool
+    note: str = ""
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two canonical ``BENCH_*.json`` payloads."""
+
+    rows: list[BenchEntryDiff]
+    only_old: list[tuple[str, str, int]]
+    only_new: list[tuple[str, str, int]]
+    max_regression: float
+    min_wall_s: float
+
+    @property
+    def regressions(self) -> list[BenchEntryDiff]:
+        return [row for row in self.rows if row.regression]
+
+    @property
+    def worst_ratio(self) -> float | None:
+        ratios = [row.ratio for row in self.rows if row.ratio is not None]
+        return max(ratios) if ratios else None
+
+    def pair_summary(self) -> dict[tuple[str, str], float]:
+        """Worst gated wall-clock ratio per (scenario, engine) pair."""
+        worst: dict[tuple[str, str], float] = {}
+        for row in self.rows:
+            if row.ratio is None or not row.gated:
+                continue
+            key = (row.scenario, row.engine)
+            worst[key] = max(worst.get(key, 0.0), row.ratio)
+        return worst
+
+
+def _bench_entries(payload: Mapping) -> dict[tuple[str, str, int], Mapping]:
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(
+            "bench payload lacks an 'entries' list — is this a canonical "
+            "BENCH_*.json file?"
+        )
+    table: dict[tuple[str, str, int], Mapping] = {}
+    for entry in entries:
+        key = (
+            str(entry.get("scenario", "?")),
+            str(entry.get("engine") or "-"),
+            int(entry.get("n", 0)),
+        )
+        table[key] = entry
+    return table
+
+
+def diff_bench_payloads(
+    old: Mapping,
+    new: Mapping,
+    max_regression: float = 2.0,
+    min_wall_s: float = 0.05,
+) -> BenchDiff:
+    """Compare two canonical bench payloads entry by entry.
+
+    An entry *regresses* when its wall clock grew by more than
+    ``max_regression``× — but only entries taking at least ``min_wall_s``
+    on both sides gate: sub-threshold timings are noise-dominated and
+    reported informationally, never failed on.  Semantic fields
+    (``rounds``, ``messages``) that changed are noted on the row.
+    """
+    old_entries = _bench_entries(old)
+    new_entries = _bench_entries(new)
+    rows: list[BenchEntryDiff] = []
+    for key in sorted(set(old_entries) & set(new_entries)):
+        old_entry, new_entry = old_entries[key], new_entries[key]
+        old_wall = float(old_entry.get("wall_clock_s", 0.0))
+        new_wall = float(new_entry.get("wall_clock_s", 0.0))
+        ratio = new_wall / old_wall if old_wall > 0 else None
+        gated = old_wall >= min_wall_s and new_wall >= min_wall_s
+        regression = (
+            gated and ratio is not None and ratio > max_regression
+        )
+        notes = []
+        for semantic in ("rounds", "messages"):
+            if (semantic in old_entry or semantic in new_entry) and \
+                    old_entry.get(semantic) != new_entry.get(semantic):
+                notes.append(
+                    f"{semantic} {old_entry.get(semantic)} → "
+                    f"{new_entry.get(semantic)}"
+                )
+        rows.append(BenchEntryDiff(
+            scenario=key[0],
+            engine=key[1],
+            n=key[2],
+            old_wall_s=old_wall,
+            new_wall_s=new_wall,
+            ratio=ratio,
+            gated=gated,
+            regression=regression,
+            note="; ".join(notes),
+        ))
+    return BenchDiff(
+        rows=rows,
+        only_old=sorted(set(old_entries) - set(new_entries)),
+        only_new=sorted(set(new_entries) - set(old_entries)),
+        max_regression=max_regression,
+        min_wall_s=min_wall_s,
+    )
+
+
+def render_bench_diff(
+    diff: BenchDiff,
+    label_old: str = "baseline",
+    label_new: str = "current",
+    title: str = "Bench trajectory diff",
+) -> str:
+    """The regression-highlighted bench comparison page (CI artifact)."""
+    regressions = diff.regressions
+    tiles = [
+        _tile(
+            "Verdict",
+            _status(
+                not regressions,
+                "within budget",
+                f"{len(regressions)} regressions",
+            ),
+            note=f"budget {diff.max_regression}× wall clock",
+            raw_value=True,
+        ),
+        _tile("Entries compared", str(len(diff.rows))),
+    ]
+    worst = diff.worst_ratio
+    if worst is not None:
+        tiles.append(_tile("Worst ratio", f"{worst:.2f}×"))
+
+    sections = []
+    if regressions:
+        items = "".join(
+            f"<li>{_esc(row.scenario)} / {_esc(row.engine)} / n={row.n}: "
+            f"{row.old_wall_s:.4f}s → {row.new_wall_s:.4f}s "
+            f"({row.ratio:.2f}×)</li>"
+            for row in regressions
+        )
+        sections.append(f"<h2>Regressions</h2><ul>{items}</ul>")
+
+    entry_rows = []
+    entry_classes = []
+    for row in diff.rows:
+        entry_classes.append("regression" if row.regression else None)
+        if row.regression:
+            status = _status(False, "", "REGRESSION")
+        elif not row.gated:
+            status = f'<span class="muted">below {diff.min_wall_s}s floor</span>'
+        else:
+            status = _status(True, "ok", "")
+        entry_rows.append([
+            _esc(row.scenario),
+            _esc(row.engine),
+            _esc(str(row.n)),
+            _esc(f"{row.old_wall_s:.4f}"),
+            _esc(f"{row.new_wall_s:.4f}"),
+            _esc(f"{row.ratio:.2f}×") if row.ratio is not None
+            else '<span class="muted">—</span>',
+            status,
+            _esc(row.note) if row.note else "",
+        ])
+    sections.append(f"<h2>Wall clock: {_esc(label_old)} vs {_esc(label_new)}</h2>")
+    sections.append(_rows_table(
+        f"Regression = ratio > {diff.max_regression}× with both sides ≥ "
+        f"{diff.min_wall_s}s",
+        ["scenario", "engine", "n", f"{label_old} (s)", f"{label_new} (s)",
+         "ratio", "status", "notes"],
+        entry_rows,
+        row_classes=entry_classes,
+    ))
+
+    pair_rows = [
+        [
+            _esc(scenario),
+            _esc(engine),
+            _esc(f"{ratio:.2f}×"),
+            _status(ratio <= diff.max_regression, "ok", "REGRESSION"),
+        ]
+        for (scenario, engine), ratio in sorted(diff.pair_summary().items())
+    ]
+    if pair_rows:
+        sections.append("<h2>Per-(scenario, engine) summary</h2>")
+        sections.append(_rows_table(
+            "Worst gated ratio per pair — what CI fails on",
+            ["scenario", "engine", "worst ratio", "status"],
+            pair_rows,
+        ))
+
+    for label, keys in (("Only in " + label_old, diff.only_old),
+                        ("Only in " + label_new, diff.only_new)):
+        if keys:
+            items = "".join(
+                f"<li>{_esc(s)} / {_esc(e)} / n={n}</li>" for s, e, n in keys
+            )
+            sections.append(f"<h2>{_esc(label)}</h2><ul>{items}</ul>")
+
+    return _page(title, tiles, sections)

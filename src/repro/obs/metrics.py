@@ -40,6 +40,7 @@ __all__ = [
     "Sample",
     "histogram_quantile",
     "parse_exposition",
+    "parse_exposition_types",
 ]
 
 #: Default histogram buckets for request/phase latencies, in seconds.
@@ -478,6 +479,21 @@ def parse_exposition(text: str) -> list[Sample]:
     return samples
 
 
+def parse_exposition_types(text: str) -> dict[str, str]:
+    """The ``# TYPE`` declarations of a scrape: family name → type name.
+
+    Window queries and the diff dashboard need to know whether a parsed
+    series is a counter (render a rate) or a gauge (render the value);
+    the sample lines alone cannot say.
+    """
+    types: dict[str, str] = {}
+    for raw in text.splitlines():
+        parts = raw.strip().split()
+        if len(parts) == 4 and parts[0] == "#" and parts[1] == "TYPE":
+            types[parts[2]] = parts[3]
+    return types
+
+
 def samples_named(samples: Iterable[Sample], name: str) -> list[Sample]:
     """All samples of one metric name (bucket/sum/count names are exact)."""
     return [sample for sample in samples if sample.name == name]
@@ -499,15 +515,29 @@ def histogram_quantile(
 
     Linear interpolation within the bucket that crosses the target rank —
     the same estimate ``histogram_quantile()`` makes in PromQL.  Returns
-    ``None`` for an empty histogram.  A quantile landing in the ``+Inf``
-    bucket clamps to the largest finite bound: the estimate is then a
-    lower bound, which is the conservative direction for an SLO check.
+    the sentinel ``None`` (never a guess) whenever the buckets cannot
+    support an estimate:
+
+    - the bucket set is empty, or the total count is zero;
+    - the cumulative counts are non-monotone or negative (a half-reset
+      or corrupted scrape — interpolating over it would fabricate data);
+    - every observation sits in the ``+Inf`` bucket, so no finite bound
+      constrains the value at all.
+
+    A quantile landing in the ``+Inf`` bucket with *some* finite mass
+    clamps to the largest finite bound: the estimate is then a lower
+    bound, which is the conservative direction for an SLO check.
     """
     if not 0.0 <= quantile <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {quantile}")
     ordered = sorted(buckets, key=lambda pair: pair[0])
     if not ordered or ordered[-1][1] <= 0:
         return None
+    previous = 0.0
+    for _, cumulative in ordered:
+        if cumulative < previous:  # non-monotone: reject, don't extrapolate
+            return None
+        previous = cumulative
     total = ordered[-1][1]
     rank = quantile * total
     previous_bound = 0.0
@@ -515,8 +545,10 @@ def histogram_quantile(
     for bound, cumulative in ordered:
         if cumulative >= rank:
             if bound == math.inf:
-                finite = [b for b, _ in ordered if b != math.inf]
-                return finite[-1] if finite else None
+                finite = [
+                    (b, c) for b, c in ordered if b != math.inf and c > 0
+                ]
+                return finite[-1][0] if finite else None
             if cumulative == previous_count:
                 return bound
             fraction = (rank - previous_count) / (cumulative - previous_count)

@@ -1,14 +1,25 @@
-"""Service-level objectives evaluated over a metrics exposition.
+"""Service-level objectives evaluated over metric windows.
 
-Each :class:`SLO` is a named predicate over the parsed samples of one
-Prometheus-text scrape.  ``evaluate_slos`` runs every objective and
-returns structured verdicts; ``scripts/slo_burn_check.py`` turns a
-burning objective into a red CI run.
+Each :class:`SLO` is a named predicate over a :class:`Window` — a slice
+of retained scrape history.  With two or more points the objectives
+evaluate PromQL-style: counter *increases* inside the window, p99
+latency from bucket deltas, ingest-stall detection via a zero
+``rate(collector_records_ingested_total)``.  A single scrape is the
+degenerate one-sample window and falls back to the cumulative checks,
+so ``scripts/slo_burn_check.py`` on one ``.prom`` file keeps working.
 
-An objective whose underlying series is absent from the scrape passes
-with ``"no data"`` rather than burning: a scrape taken before the first
-request (or from a service that does not own that subsystem) is not an
-outage.  The reverse — a metric present but over budget — always burns.
+``evaluate_slos`` runs every objective over one window (or a bare
+sample sequence); ``evaluate_slos_windowed`` runs the SRE dual-window
+form — an objective *burns* only when both the fast window (is it bad
+right now?) and the slow window (has it been bad long enough to spend
+real budget?) agree, which suppresses one-scrape blips without missing
+sustained burns.
+
+An objective whose underlying series is absent from the window passes
+with ``"no data"`` (and ``no_data=True`` on the result) rather than
+burning: a scrape taken before the first request, or from a service
+that does not own that subsystem, is not an outage.  The reverse — a
+metric present but over budget — always burns.
 """
 
 from __future__ import annotations
@@ -22,17 +33,125 @@ from repro.obs.metrics import (
     samples_named,
     sum_samples,
 )
+from repro.obs.timeseries import (
+    ScrapePoint,
+    bucket_counts,
+    counter_increase,
+    counter_rate,
+    gauge_delta,
+    points_in_window,
+    windowed_quantile,
+)
 
-__all__ = ["SLO", "SLOResult", "DEFAULT_SLOS", "evaluate_slos"]
+__all__ = [
+    "DEFAULT_FAST_WINDOW_S",
+    "DEFAULT_SLOS",
+    "DEFAULT_SLOW_WINDOW_S",
+    "SLO",
+    "SLOBurnResult",
+    "SLOResult",
+    "Window",
+    "evaluate_slos",
+    "evaluate_slos_windowed",
+]
+
+#: Dual-window burn-rate defaults: "bad over the last 5 minutes" must be
+#: corroborated by "bad over the last hour" before an alert fires.
+DEFAULT_FAST_WINDOW_S = 300.0
+DEFAULT_SLOW_WINDOW_S = 3600.0
+
+_NO_DATA = "no data"
+
+
+class Window:
+    """A slice of scrape history that SLO checks evaluate over.
+
+    One point (or a bare sample list via :meth:`from_samples`) is the
+    degenerate window: queries fall back to cumulative-scrape semantics.
+    Two or more points unlock the windowed queries.
+    """
+
+    def __init__(
+        self, points: Sequence[ScrapePoint], windowed: bool | None = None
+    ) -> None:
+        self.points = sorted(points, key=lambda point: point.unix_s)
+        # A window carved out of real history stays windowed even when it
+        # caught fewer than two scrapes: the queries then answer None
+        # ("no data") rather than silently flipping back to cumulative
+        # semantics, which would misread a lifetime total as an
+        # in-window burn.
+        self._windowed = (
+            len(self.points) >= 2 if windowed is None else windowed
+        )
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[Sample]) -> "Window":
+        return cls([ScrapePoint.from_samples(0.0, samples)])
+
+    @property
+    def is_windowed(self) -> bool:
+        return self._windowed
+
+    @property
+    def span_s(self) -> float:
+        if len(self.points) < 2:
+            return 0.0
+        return self.points[-1].unix_s - self.points[0].unix_s
+
+    @property
+    def latest_samples(self) -> Sequence[Sample]:
+        return self.points[-1].samples if self.points else ()
+
+    def describe(self) -> str:
+        if len(self.points) >= 2:
+            return f"{len(self.points)} points over {self.span_s:.0f}s"
+        if self.is_windowed:
+            return f"{len(self.points)} point(s) (window too sparse)"
+        return "single scrape"
+
+    def has_series(self, name: str) -> bool:
+        return bool(samples_named(self.latest_samples, name))
+
+    def latest_total(self, name: str, **labels: str) -> float:
+        return sum_samples(self.latest_samples, name, **labels)
+
+    def increase(self, name: str, **labels: str) -> float | None:
+        """Counter growth inside the window; cumulative total when
+        degenerate; ``None`` when the series is absent (or reset)."""
+        if self.is_windowed:
+            return counter_increase(self.points, name, **labels)
+        if not self.has_series(name):
+            return None
+        return self.latest_total(name, **labels)
+
+    def rate(self, name: str, **labels: str) -> float | None:
+        """Per-second counter growth; undefined on a degenerate window."""
+        if not self.is_windowed:
+            return None
+        return counter_rate(self.points, name, **labels)
+
+    def delta(self, name: str, **labels: str) -> float | None:
+        if not self.is_windowed:
+            return None
+        return gauge_delta(self.points, name, **labels)
+
+    def quantile(self, quantile: float, name: str, **labels: str) -> float | None:
+        """Histogram quantile over the window's observations (bucket
+        deltas); over all observations when degenerate."""
+        if self.is_windowed:
+            return windowed_quantile(self.points, name, quantile, **labels)
+        buckets = bucket_counts(self.latest_samples, name, **labels)
+        return histogram_quantile(quantile, buckets.items())
 
 
 @dataclass(frozen=True)
 class SLOResult:
-    """One objective's verdict over one scrape."""
+    """One objective's verdict over one window."""
 
     name: str
     ok: bool
     detail: str
+    no_data: bool = False
 
     @property
     def status(self) -> str:
@@ -40,101 +159,162 @@ class SLOResult:
 
 
 @dataclass(frozen=True)
+class SLOBurnResult:
+    """The dual-window verdict: burning only if fast AND slow agree."""
+
+    name: str
+    fast: SLOResult
+    slow: SLOResult
+
+    @property
+    def burning(self) -> bool:
+        return not self.fast.ok and not self.slow.ok
+
+    @property
+    def no_data(self) -> bool:
+        return self.fast.no_data and self.slow.no_data
+
+    @property
+    def status(self) -> str:
+        if self.burning:
+            return "BURNING"
+        if not self.fast.ok:
+            return "fast-burn only"
+        return "ok"
+
+
+@dataclass(frozen=True)
 class SLO:
-    """A named objective: ``check`` maps samples to (ok, detail)."""
+    """A named objective: ``check`` maps a window to (ok, detail)."""
 
     name: str
     description: str
-    check: Callable[[Sequence[Sample]], tuple[bool, str]]
+    check: Callable[[Window], tuple[bool, str]]
 
-    def evaluate(self, samples: Sequence[Sample]) -> SLOResult:
-        ok, detail = self.check(samples)
-        return SLOResult(name=self.name, ok=ok, detail=detail)
-
-
-def _histogram_p99(
-    samples: Sequence[Sample], name: str, threshold_s: float
-) -> tuple[bool, str]:
-    """p99 over all label combinations of one latency histogram pooled."""
-    buckets: dict[float, float] = {}
-    for sample in samples_named(samples, name + "_bucket"):
-        le = sample.label("le")
-        if le is None:
-            continue
-        bound = float("inf") if le == "+Inf" else float(le)
-        buckets[bound] = buckets.get(bound, 0.0) + sample.value
-    p99 = histogram_quantile(0.99, buckets.items())
-    if p99 is None:
-        return True, f"no data ({name} has no observations)"
-    ok = p99 <= threshold_s
-    return ok, f"p99 ≈ {p99:.4f}s (budget {threshold_s}s)"
-
-
-def _counter_at_most(
-    samples: Sequence[Sample], name: str, budget: float, **labels: str
-) -> tuple[bool, str]:
-    if not samples_named(samples, name):
-        return True, f"no data ({name} absent)"
-    total = sum_samples(samples, name, **labels)
-    label_note = "".join(f"{{{k}={v}}}" for k, v in labels.items())
-    return total <= budget, f"{name}{label_note} = {_trim(total)} (budget {_trim(budget)})"
-
-
-def _ratio_at_most(
-    samples: Sequence[Sample],
-    numerator: tuple[str, dict],
-    denominator: str,
-    budget: float,
-) -> tuple[bool, str]:
-    num_name, num_labels = numerator
-    if not samples_named(samples, denominator):
-        return True, f"no data ({denominator} absent)"
-    total = sum_samples(samples, denominator)
-    if total <= 0:
-        return True, f"no data ({denominator} = 0)"
-    part = sum_samples(samples, num_name, **num_labels)
-    ratio = part / total
-    return ratio <= budget, f"ratio = {ratio:.4f} (budget {budget})"
+    def evaluate(self, window: Window) -> SLOResult:
+        ok, detail = self.check(window)
+        return SLOResult(
+            name=self.name,
+            ok=ok,
+            detail=detail,
+            no_data=detail.startswith(_NO_DATA),
+        )
 
 
 def _trim(value: float) -> str:
     return str(int(value)) if float(value).is_integer() else f"{value:.4f}"
 
 
-def _slo_verb_latency(samples: Sequence[Sample]) -> tuple[bool, str]:
-    return _histogram_p99(samples, "service_request_seconds", threshold_s=5.0)
+def _histogram_p99(
+    window: Window, name: str, threshold_s: float
+) -> tuple[bool, str]:
+    """p99 over all label combinations of one latency histogram pooled."""
+    p99 = window.quantile(0.99, name)
+    if p99 is None:
+        return True, f"no data ({name} has no observations in window)"
+    ok = p99 <= threshold_s
+    note = f" over {window.describe()}" if window.is_windowed else ""
+    return ok, f"p99 ≈ {p99:.4f}s (budget {threshold_s}s){note}"
 
 
-def _slo_zero_dropped(samples: Sequence[Sample]) -> tuple[bool, str]:
-    return _counter_at_most(
-        samples, "collector_records_total", budget=0, fate="dropped"
+def _counter_at_most(
+    window: Window, name: str, budget: float, **labels: str
+) -> tuple[bool, str]:
+    if not window.has_series(name):
+        return True, f"no data ({name} absent)"
+    total = window.increase(name, **labels)
+    if total is None:
+        return True, (
+            f"no data ({name} increase unmeasurable: reset or too few "
+            f"scrapes in window)"
+        )
+    label_note = "".join(f"{{{k}={v}}}" for k, v in labels.items())
+    verb = "increase" if window.is_windowed else "total"
+    return (
+        total <= budget,
+        f"{name}{label_note} {verb} = {_trim(total)} (budget {_trim(budget)})",
     )
 
 
-def _slo_conflict_rate(samples: Sequence[Sample]) -> tuple[bool, str]:
+def _ratio_at_most(
+    window: Window,
+    numerator: tuple[str, dict],
+    denominator: str,
+    budget: float,
+) -> tuple[bool, str]:
+    num_name, num_labels = numerator
+    if not window.has_series(denominator):
+        return True, f"no data ({denominator} absent)"
+    total = window.increase(denominator)
+    if total is None or total <= 0:
+        return True, f"no data ({denominator} saw no increase in window)"
+    part = window.increase(num_name, **num_labels)
+    if part is None:
+        part = 0.0
+    ratio = part / total
+    return ratio <= budget, f"ratio = {ratio:.4f} (budget {budget})"
+
+
+def _slo_verb_latency(window: Window) -> tuple[bool, str]:
+    return _histogram_p99(window, "service_request_seconds", threshold_s=5.0)
+
+
+def _slo_zero_dropped(window: Window) -> tuple[bool, str]:
+    return _counter_at_most(
+        window, "collector_records_total", budget=0, fate="dropped"
+    )
+
+
+def _slo_conflict_rate(window: Window) -> tuple[bool, str]:
     return _ratio_at_most(
-        samples,
+        window,
         numerator=("collector_records_total", {"fate": "conflict"}),
         denominator="collector_records_ingested_total",
         budget=0.05,
     )
 
 
-def _slo_malformed_lines(samples: Sequence[Sample]) -> tuple[bool, str]:
-    return _counter_at_most(samples, "service_malformed_lines_total", budget=0)
+def _slo_malformed_lines(window: Window) -> tuple[bool, str]:
+    return _counter_at_most(window, "service_malformed_lines_total", budget=0)
 
 
-def _slo_auth_failures(samples: Sequence[Sample]) -> tuple[bool, str]:
-    return _counter_at_most(samples, "service_auth_failures_total", budget=0)
+def _slo_auth_failures(window: Window) -> tuple[bool, str]:
+    return _counter_at_most(window, "service_auth_failures_total", budget=0)
 
 
-def _slo_worker_restarts(samples: Sequence[Sample]) -> tuple[bool, str]:
-    return _counter_at_most(samples, "pool_worker_restarts_total", budget=0)
+def _slo_worker_restarts(window: Window) -> tuple[bool, str]:
+    return _counter_at_most(window, "pool_worker_restarts_total", budget=0)
+
+
+def _slo_ingest_stall(window: Window) -> tuple[bool, str]:
+    """A collector that has ingested records before the window but none
+    inside it has stalled — the signature of a wedged transport that a
+    cumulative counter can never show."""
+    name = "collector_records_ingested_total"
+    if not window.is_windowed:
+        return True, "no data (single scrape cannot measure an ingest rate)"
+    if not window.has_series(name):
+        return True, f"no data ({name} absent)"
+    total = window.latest_total(name)
+    if total <= 0:
+        return True, "no data (nothing ingested yet)"
+    increase = window.increase(name)
+    if increase is None:
+        return True, f"no data ({name} reset mid-window)"
+    if increase <= 0:
+        return False, (
+            f"ingest stalled: 0 records over {window.describe()} "
+            f"(cumulative total {_trim(total)})"
+        )
+    rate = window.rate(name)
+    rate_note = f" ≈ {rate:.2f}/s" if rate is not None else ""
+    return True, f"+{_trim(increase)} records{rate_note} over {window.describe()}"
 
 
 #: The repo's objectives, documented in ROADMAP.md.  Budgets are tuned
 #: for the CI smoke jobs: a healthy run serves every verb in well under
-#: five seconds at p99 and drops, mangles and rejects nothing.
+#: five seconds at p99 and drops, mangles and rejects nothing; a
+#: collector with history must keep ingesting while work is in flight.
 DEFAULT_SLOS: tuple[SLO, ...] = (
     SLO(
         name="verb-latency-p99",
@@ -166,11 +346,60 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
         description="no pool workers die and respawn mid-sweep",
         check=_slo_worker_restarts,
     ),
+    SLO(
+        name="ingest-not-stalled",
+        description="a collector that has ingested keeps ingesting in-window",
+        check=_slo_ingest_stall,
+    ),
 )
 
 
+def _as_window(samples: "Window | Sequence[Sample]") -> Window:
+    if isinstance(samples, Window):
+        return samples
+    return Window.from_samples(list(samples))
+
+
 def evaluate_slos(
-    samples: Sequence[Sample], slos: Iterable[SLO] = DEFAULT_SLOS
+    samples: "Window | Sequence[Sample]",
+    slos: Iterable[SLO] = DEFAULT_SLOS,
 ) -> list[SLOResult]:
-    """Every objective's verdict over one scrape, in definition order."""
-    return [slo.evaluate(samples) for slo in slos]
+    """Every objective's verdict over one window, in definition order.
+
+    Accepts either a :class:`Window` or a bare sample sequence (one
+    scrape), which evaluates as the degenerate single-sample window.
+    """
+    window = _as_window(samples)
+    return [slo.evaluate(window) for slo in slos]
+
+
+def evaluate_slos_windowed(
+    points: Sequence[ScrapePoint],
+    fast_window_s: float = DEFAULT_FAST_WINDOW_S,
+    slow_window_s: float = DEFAULT_SLOW_WINDOW_S,
+    slos: Iterable[SLO] = DEFAULT_SLOS,
+    now: float | None = None,
+) -> list[SLOBurnResult]:
+    """Dual-window burn evaluation over retained scrape history.
+
+    Each objective is checked over the trailing fast window and the
+    trailing slow window (both ending at ``now``, default: the newest
+    point); it is *burning* only when both verdicts fail.
+    """
+    if slow_window_s < fast_window_s:
+        raise ValueError(
+            f"slow window ({slow_window_s}s) must be >= fast window "
+            f"({fast_window_s}s)"
+        )
+    ordered = points_in_window(points)
+    end = now
+    if end is None and ordered:
+        end = ordered[-1].unix_s
+    fast = Window(points_in_window(ordered, fast_window_s, end), windowed=True)
+    slow = Window(points_in_window(ordered, slow_window_s, end), windowed=True)
+    return [
+        SLOBurnResult(
+            name=slo.name, fast=slo.evaluate(fast), slow=slo.evaluate(slow)
+        )
+        for slo in slos
+    ]

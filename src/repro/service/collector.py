@@ -41,6 +41,11 @@ Verbs
 ``metrics``
     The collector's full Prometheus-text exposition (ingest counters by
     fate, push-batch sizes, stream lag, per-verb latency).
+``metrics_history``
+    The retained scrape history (ring buffer snapshotted every
+    ``scrape_interval_s``), optionally restricted by ``window_s`` and
+    capped by ``max_points`` — what windowed SLO burn checks and
+    dashboard sparklines consume.
 ``shutdown``
     Stop serving (the store is already durable; nothing to flush).
 """
@@ -53,7 +58,11 @@ from pathlib import Path
 from typing import Any
 
 from repro.experiments.report import report_payload
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, ScrapeHistory
+from repro.obs.timeseries import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_SCRAPE_INTERVAL_S,
+)
 from repro.experiments.store import (
     DEFAULT_OUT,
     CellResult,
@@ -64,6 +73,7 @@ from repro.service.protocol import (
     LineServer,
     ServiceError,
     error_response,
+    metrics_history_response,
     ok_response,
     parse_endpoint,
     resolve_token,
@@ -81,6 +91,9 @@ class ResultCollector:
         listen: str | None = None,
         socket_path: str | Path | None = None,
         token: str | None = None,
+        scrape_interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
+        history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+        history_spill: str | Path | None = None,
     ) -> None:
         self.store = ResultStore(out)
         self.listen = listen
@@ -98,6 +111,12 @@ class ResultCollector:
         self._started_monotonic: float | None = None
         self._last_push_monotonic: float | None = None
         self.registry = MetricsRegistry()
+        self.history = ScrapeHistory(
+            self.registry,
+            interval_s=scrape_interval_s,
+            capacity=history_capacity,
+            spill_path=history_spill,
+        )
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -179,7 +198,8 @@ class ResultCollector:
             name="result-collector",
             close_after=lambda request, _: request.get("op") == "shutdown",
             registry=self.registry,
-            verbs=("ping", "push", "status", "report", "metrics", "shutdown"),
+            verbs=("ping", "push", "status", "report", "metrics",
+                   "metrics_history", "shutdown"),
         )
         try:
             if self.socket_path is not None:
@@ -198,6 +218,8 @@ class ResultCollector:
             raise
         self._server = server
         self._started_monotonic = time.monotonic()
+        if self.history.interval_s > 0:
+            self.history.start()
 
     def serve_forever(self) -> None:
         """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
@@ -214,6 +236,7 @@ class ResultCollector:
 
     def close(self) -> None:
         self.stop()
+        self.history.stop()
         if self._server is not None:
             self._server.close()
             self._server = None
@@ -288,12 +311,14 @@ class ResultCollector:
             return ok_response(records=len(records), **report_payload(records))
         if op == "metrics":
             return ok_response(metrics=self.registry.render())
+        if op == "metrics_history":
+            return metrics_history_response(self.history, request)
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
-            f"unknown op {op!r} "
-            f"(expected ping/push/status/report/metrics/shutdown)"
+            f"unknown op {op!r} (expected ping/push/status/report/"
+            f"metrics/metrics_history/shutdown)"
         )
 
     def _counters(self) -> dict[str, Any]:

@@ -35,6 +35,11 @@ Verbs
 ``metrics``
     The daemon's full Prometheus-text exposition (queue depth, per-verb
     latency, per-phase cell timings, pool traffic) as one string field.
+``metrics_history``
+    The retained scrape history (a :class:`~repro.obs.ScrapeHistory`
+    ring buffer snapshotted every ``scrape_interval_s``), optionally
+    restricted by ``window_s`` and capped by ``max_points`` — the input
+    to windowed SLO burn checks and dashboard sparklines.
 ``shutdown``
     Stop accepting work, finish the jobs already queued, exit.
 
@@ -58,7 +63,11 @@ from repro.experiments.report import report_payload
 from repro.experiments.spec import get_suite
 from repro.experiments.store import DEFAULT_OUT, ResultStore
 from repro.local import ENGINE_MODES
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, ScrapeHistory
+from repro.obs.timeseries import (
+    DEFAULT_HISTORY_CAPACITY,
+    DEFAULT_SCRAPE_INTERVAL_S,
+)
 from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.pool import DEFAULT_BATCH_SIZE, WorkerPool
 from repro.service.protocol import (
@@ -66,6 +75,7 @@ from repro.service.protocol import (
     LineServer,
     check_unix_socket_path,
     error_response,
+    metrics_history_response,
     ok_response,
     parse_endpoint,
     resolve_token,
@@ -150,11 +160,20 @@ class SweepDaemon:
         batch_size: int = DEFAULT_BATCH_SIZE,
         listen: str | None = None,
         token: str | None = None,
+        scrape_interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
+        history_capacity: int = DEFAULT_HISTORY_CAPACITY,
+        history_spill: str | Path | None = None,
     ) -> None:
         self.socket_path = Path(socket_path)
         self.listen = listen
         self.token = resolve_token(token)
         self.registry = MetricsRegistry()
+        self.history = ScrapeHistory(
+            self.registry,
+            interval_s=scrape_interval_s,
+            capacity=history_capacity,
+            spill_path=history_spill,
+        )
         self.pool = WorkerPool(
             workers=workers, batch_size=batch_size, registry=self.registry
         )
@@ -264,7 +283,7 @@ class SweepDaemon:
             close_after=lambda request, _: request.get("op") == "shutdown",
             registry=self.registry,
             verbs=("ping", "submit", "status", "results", "report",
-                   "metrics", "shutdown"),
+                   "metrics", "metrics_history", "shutdown"),
         )
         try:
             server.listen_unix(self.socket_path)
@@ -277,6 +296,8 @@ class SweepDaemon:
             raise
         self._server = server
         self._started_monotonic = time.monotonic()
+        if self.history.interval_s > 0:
+            self.history.start()
         self._runner_thread = threading.Thread(
             target=self._runner_loop, name="sweep-daemon-runner", daemon=True
         )
@@ -320,6 +341,7 @@ class SweepDaemon:
             # ~1s and fails the job rather than blocking.
             self._runner_thread.join()
             self._runner_thread = None
+        self.history.stop()
         if self._server is not None:
             # The server unlinks only a socket *it* bound: a close()
             # after a failed start ("another daemon is serving") has no
@@ -433,12 +455,14 @@ class SweepDaemon:
             return self._handle_report(request)
         if op == "metrics":
             return ok_response(metrics=self.registry.render())
+        if op == "metrics_history":
+            return metrics_history_response(self.history, request)
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
-            f"unknown op {op!r} "
-            f"(expected ping/submit/status/results/report/metrics/shutdown)"
+            f"unknown op {op!r} (expected ping/submit/status/results/"
+            f"report/metrics/metrics_history/shutdown)"
         )
 
     def _pool_stats(self) -> dict[str, Any]:

@@ -256,3 +256,283 @@ class TestMetricsAndDashboardCLI:
         html = html_path.read_text(encoding="utf-8")
         assert "All cells verified" in html
         assert "Per-scenario detail" in html
+
+
+def write_history(tmp_path, name, build):
+    """Write a spill file by driving a registry through ``build(registry,
+    snap)`` where ``snap(now)`` takes one timestamped snapshot."""
+    from repro.obs import ScrapeHistory
+
+    path = tmp_path / name
+    registry = MetricsRegistry()
+    history = ScrapeHistory(registry, interval_s=5.0, spill_path=path)
+    build(registry, history.snapshot)
+    return path
+
+
+class TestBurnCheckHistoryMode:
+    run_check = TestBurnCheckScript.run_check
+
+    def test_healthy_history_passes(self, tmp_path):
+        def build(registry, snap):
+            ingested = registry.counter("collector_records_ingested_total", "x")
+            ingested.inc(5)
+            snap(now=1000.0)
+            ingested.inc(5)
+            snap(now=1060.0)
+
+        path = write_history(tmp_path, "ok.jsonl", build)
+        proc = self.run_check("--history", path, "--window", "5m")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "dual-window burn" in proc.stdout
+
+    def test_sustained_stall_burns(self, tmp_path):
+        def build(registry, snap):
+            ingested = registry.counter("collector_records_ingested_total", "x")
+            ingested.inc(10)
+            snap(now=1000.0)
+            snap(now=1060.0)
+            snap(now=1120.0)
+
+        path = write_history(tmp_path, "stalled.jsonl", build)
+        proc = self.run_check("--history", path)
+        assert proc.returncode == 1
+        assert "ingest-not-stalled" in proc.stdout
+        assert "FAILED" in proc.stderr
+
+    def test_empty_series_history_is_exit_3(self, tmp_path):
+        def build(registry, snap):
+            snap(now=1000.0)
+            snap(now=1060.0)
+
+        path = write_history(tmp_path, "nodata.jsonl", build)
+        proc = self.run_check("--history", path)
+        assert proc.returncode == 3
+        assert "no data" in proc.stderr
+
+    def test_usage_errors_are_exit_2(self, tmp_path):
+        scrape = tmp_path / "metrics.prom"
+        scrape.write_text(clean_scrape(), encoding="utf-8")
+        # both inputs, neither input, window without history, bad file
+        assert self.run_check(scrape, "--history", "x.jsonl").returncode == 2
+        assert self.run_check().returncode == 2
+        assert self.run_check(scrape, "--window", "5m").returncode == 2
+        assert self.run_check("--history", tmp_path / "nope.jsonl").returncode == 2
+
+    def test_corrupt_history_is_exit_2(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        proc = self.run_check("--history", path)
+        assert proc.returncode == 2
+        assert "cannot read history" in proc.stderr
+
+
+class TestDiffPrimitives:
+    def test_metrics_diff_flags_bad_counter_growth(self):
+        from repro.obs.dashboard import render_metrics_diff
+
+        before = clean_scrape()
+        registry = MetricsRegistry()
+        registry.counter("collector_records_ingested_total", "x").inc(3)
+        registry.counter(
+            "service_auth_failures_total", "x", ("server",)
+        ).labels(server="collector").inc(2)
+        html, regressions = render_metrics_diff(before, registry.render())
+        assert any("service_auth_failures_total" in r for r in regressions)
+        assert "REGRESSION" in html
+
+    def test_metrics_diff_clean_is_empty(self):
+        from repro.obs.dashboard import render_metrics_diff
+
+        html, regressions = render_metrics_diff(clean_scrape(), clean_scrape())
+        assert regressions == []
+        assert "no regressions" in html
+
+    @staticmethod
+    def bench_payload(wall_s, scenario="mis", engine="python", n=1000):
+        return {
+            "entries": [{
+                "scenario": scenario, "n": n, "wall_clock_s": wall_s,
+                "rounds": 5, "messages": 10, "engine": engine,
+            }],
+        }
+
+    def test_bench_regression_gated_by_ratio(self):
+        from repro.obs.dashboard import diff_bench_payloads
+
+        diff = diff_bench_payloads(
+            self.bench_payload(1.0), self.bench_payload(3.0)
+        )
+        assert len(diff.regressions) == 1
+        assert diff.pair_summary()[("mis", "python")] == pytest.approx(3.0)
+        ok = diff_bench_payloads(
+            self.bench_payload(1.0), self.bench_payload(1.5)
+        )
+        assert ok.regressions == []
+
+    def test_bench_noise_floor_never_gates(self):
+        from repro.obs.dashboard import diff_bench_payloads
+
+        diff = diff_bench_payloads(
+            self.bench_payload(0.001), self.bench_payload(0.04)
+        )
+        assert diff.regressions == []
+        assert not diff.rows[0].gated
+
+    def test_bench_only_old_and_new_entries_reported(self):
+        from repro.obs.dashboard import diff_bench_payloads
+
+        old = self.bench_payload(1.0, scenario="a")
+        new = self.bench_payload(1.0, scenario="b")
+        diff = diff_bench_payloads(old, new)
+        assert diff.only_old and diff.only_new
+
+    def test_bench_payload_without_entries_rejected(self):
+        from repro.obs.dashboard import diff_bench_payloads
+
+        with pytest.raises(ValueError):
+            diff_bench_payloads({}, self.bench_payload(1.0))
+
+    def test_render_bench_diff_highlights(self):
+        from repro.obs.dashboard import diff_bench_payloads, render_bench_diff
+
+        diff = diff_bench_payloads(
+            self.bench_payload(1.0), self.bench_payload(3.0)
+        )
+        html = render_bench_diff(diff, label_old="base", label_new="pr")
+        assert "REGRESSION" in html and "class=\"regression\"" in html
+
+    def test_sparklines_render_from_history(self, tmp_path):
+        from repro.obs.timeseries import load_history_jsonl
+
+        def build(registry, snap):
+            counter = registry.counter("t_total", "x")
+            for t in range(4):
+                counter.inc()
+                snap(now=1000.0 + 60 * t)
+
+        path = write_history(tmp_path, "spark.jsonl", build)
+        html = render_dashboard(history=load_history_jsonl(path))
+        assert "<svg" in html and "polyline" in html
+        assert "Dual-window burn" in html
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="requires Unix-domain sockets"
+)
+class TestHistoryAndDiffCLI:
+    collector = TestMetricsAndDashboardCLI.collector
+
+    def test_metrics_history_summary(self, collector, capsys):
+        collector.history.snapshot()
+        code = main([
+            "metrics", "--connect", str(collector.socket_path),
+            "--token", TOKEN, "--history", "--window", "5m",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "history:" in out
+        assert "histogram" in out
+
+    def test_metrics_history_jsonl_round_trip(self, collector, tmp_path, capsys):
+        from repro.obs.timeseries import load_history_jsonl
+
+        collector.history.snapshot()
+        out = tmp_path / "hist.jsonl"
+        code = main([
+            "metrics", "--connect", str(collector.socket_path),
+            "--token", TOKEN, "--history", "--out", str(out),
+        ])
+        assert code == 0
+        points = load_history_jsonl(out)
+        assert len(points) >= 2
+
+        html_path = tmp_path / "dash.html"
+        code = main([
+            "dashboard", "--no-report", "--history", str(out),
+            "--html", str(html_path),
+        ])
+        assert code == 0
+        html = html_path.read_text(encoding="utf-8")
+        assert "<svg" in html
+        assert "Dual-window burn" in html
+
+    def test_metrics_window_requires_history(self, capsys):
+        code = main(["metrics", "--connect", "x.sock", "--window", "5m"])
+        assert code == 2
+        assert "--window requires --history" in capsys.readouterr().err
+
+    def test_failure_messages_name_the_endpoint(self, tmp_path, capsys):
+        endpoint = tmp_path / "nope.sock"
+        code = main(["metrics", "--connect", str(endpoint), "--history"])
+        assert code == 2
+        assert str(endpoint) in capsys.readouterr().err
+        code = main([
+            "dashboard", "--no-report", "--connect", str(endpoint),
+            "--html", str(tmp_path / "x.html"),
+        ])
+        assert code == 2
+        assert str(endpoint) in capsys.readouterr().err
+
+    def test_dashboard_history_and_connect_conflict(self, tmp_path, capsys):
+        code = main([
+            "dashboard", "--history", "h.jsonl", "--connect", "y.sock",
+            "--html", str(tmp_path / "dash.html"),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_diff_bench_cli_gates(self, tmp_path, capsys):
+        import json as json_module
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json_module.dumps(
+            TestDiffPrimitives.bench_payload(1.0)), encoding="utf-8")
+        new.write_text(json_module.dumps(
+            TestDiffPrimitives.bench_payload(3.0)), encoding="utf-8")
+        html_path = tmp_path / "bench-diff.html"
+        code = main([
+            "dashboard", "--diff-bench", str(old), str(new),
+            "--html", str(html_path),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert "REGRESSION" in html_path.read_text(encoding="utf-8")
+        # A looser gate lets the same pair pass.
+        code = main([
+            "dashboard", "--diff-bench", str(old), str(new),
+            "--max-regression", "4.0", "--html", str(html_path),
+        ])
+        assert code == 0
+
+    def test_diff_bench_bad_json_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        code = main([
+            "dashboard", "--diff-bench", str(bad), str(bad),
+            "--html", str(tmp_path / "x.html"),
+        ])
+        assert code == 2
+        assert "bad.json" in capsys.readouterr().err
+
+    def test_metrics_diff_cli(self, tmp_path, capsys):
+        a = tmp_path / "a.prom"
+        b = tmp_path / "b.prom"
+        a.write_text(clean_scrape(), encoding="utf-8")
+        b.write_text(clean_scrape(), encoding="utf-8")
+        html_path = tmp_path / "mdiff.html"
+        code = main([
+            "dashboard", "--diff", str(a), str(b), "--html", str(html_path),
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert html_path.exists()
+
+    def test_diff_modes_conflict(self, tmp_path, capsys):
+        code = main([
+            "dashboard", "--diff", "a", "b", "--diff-bench", "c", "d",
+            "--html", str(tmp_path / "x.html"),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -160,9 +160,26 @@ class TestQuantile:
         assert histogram_quantile(0.99, []) is None
         assert histogram_quantile(0.99, [(1.0, 0), (math.inf, 0)]) is None
 
-    def test_inf_bucket_clamps_to_last_finite_bound(self):
-        buckets = [(1.0, 0), (math.inf, 5)]
+    def test_quantile_in_inf_bucket_clamps_to_last_finite_bound(self):
+        # Half the mass is finite, so the estimator can clamp to the
+        # largest finite bound when the quantile lands in +Inf.
+        buckets = [(1.0, 5), (math.inf, 10)]
         assert histogram_quantile(0.99, buckets) == 1.0
+
+    def test_all_mass_in_inf_bucket_is_none(self):
+        # No finite bound ever saw an observation: there is no honest
+        # numeric answer, so the documented sentinel is None.
+        assert histogram_quantile(0.99, [(1.0, 0), (math.inf, 5)]) is None
+        assert histogram_quantile(0.5, [(math.inf, 3)]) is None
+
+    def test_non_monotone_cumulative_counts_are_none(self):
+        # Cumulative counts must not decrease; a corrupt or misjoined
+        # scrape that does is refused rather than interpolated.
+        buckets = [(1.0, 10), (2.0, 4), (math.inf, 12)]
+        assert histogram_quantile(0.5, buckets) is None
+
+    def test_negative_counts_are_none(self):
+        assert histogram_quantile(0.5, [(1.0, -3), (math.inf, 5)]) is None
 
     def test_out_of_range_quantile_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,359 @@
+"""Unit suite for the time-series telemetry layer: the scrape-history
+ring buffer (retention, spill, the background scraper), PromQL-style
+window queries (increase/rate/delta and the windowed histogram
+quantile) and the dual-window SLO burn-rate evaluation."""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Sample
+from repro.obs.slo import (
+    SLOBurnResult,
+    Window,
+    evaluate_slos,
+    evaluate_slos_windowed,
+)
+from repro.obs.timeseries import (
+    MAX_HISTORY_POINTS_PER_RESPONSE,
+    ScrapeHistory,
+    ScrapePoint,
+    counter_increase,
+    counter_rate,
+    gauge_delta,
+    load_history_jsonl,
+    parse_duration,
+    points_from_payload,
+    points_in_window,
+    windowed_quantile,
+)
+
+
+def sample(name, value, **labels):
+    return Sample(name=name, labels=tuple(labels.items()), value=value)
+
+
+def point(unix_s, *samples):
+    return ScrapePoint.from_samples(unix_s, samples)
+
+
+class TestScrapePoint:
+    def test_record_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "x").inc(3)
+        original = ScrapeHistory(registry, interval_s=5.0).snapshot(now=12.5)
+        restored = ScrapePoint.from_record(original.to_record())
+        assert restored.unix_s == 12.5
+        assert restored.samples == original.samples
+
+    def test_samples_parse_lazily_from_text(self):
+        p = ScrapePoint(1.0, "# TYPE t_total counter\nt_total 4\n")
+        assert p.samples == (sample("t_total", 4.0),)
+
+
+class TestScrapeHistory:
+    def test_ring_buffer_drops_oldest_beyond_capacity(self):
+        registry = MetricsRegistry()
+        history = ScrapeHistory(registry, interval_s=5.0, capacity=3)
+        for t in range(5):
+            history.snapshot(now=float(t))
+        assert len(history) == 3
+        assert [p.unix_s for p in history.points()] == [2.0, 3.0, 4.0]
+
+    def test_spill_file_round_trips_through_loader(self, tmp_path):
+        spill = tmp_path / "hist.jsonl"
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "x")
+        history = ScrapeHistory(registry, interval_s=5.0, spill_path=spill)
+        history.snapshot(now=10.0)
+        counter.inc()
+        history.snapshot(now=20.0)
+        points = load_history_jsonl(spill)
+        assert [p.unix_s for p in points] == [10.0, 20.0]
+        assert counter_increase(points, "t_total") == 1.0
+
+    def test_payload_window_and_cap(self):
+        registry = MetricsRegistry()
+        history = ScrapeHistory(registry, interval_s=1.0, capacity=500)
+        for t in range(10):
+            history.snapshot(now=float(t))
+        payload = history.payload(window_s=4.0, now=9.0)
+        assert payload["retained"] == 10
+        assert not payload["truncated"]
+        assert [p["unix_s"] for p in payload["points"]] == [5.0, 6, 7, 8, 9]
+        capped = history.payload(max_points=3, now=9.0)
+        assert capped["truncated"]
+        # The cap keeps the most recent points: "now" always survives.
+        assert [p["unix_s"] for p in capped["points"]] == [7.0, 8.0, 9.0]
+
+    def test_payload_never_exceeds_the_response_cap(self):
+        registry = MetricsRegistry()
+        history = ScrapeHistory(registry, interval_s=1.0, capacity=500)
+        for t in range(MAX_HISTORY_POINTS_PER_RESPONSE + 40):
+            history.snapshot(now=float(t))
+        payload = history.payload(max_points=10_000)
+        assert len(payload["points"]) == MAX_HISTORY_POINTS_PER_RESPONSE
+        assert payload["truncated"]
+
+    def test_background_scraper_snapshots_and_stops(self):
+        registry = MetricsRegistry()
+        history = ScrapeHistory(registry, interval_s=0.02)
+        history.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while len(history) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(history) >= 3
+        finally:
+            history.stop()
+        settled = len(history)
+        time.sleep(0.1)
+        assert len(history) == settled  # stop() really stops the thread
+        history.stop()  # idempotent
+
+    def test_disabled_interval_refuses_to_start(self):
+        history = ScrapeHistory(MetricsRegistry(), interval_s=0.0)
+        with pytest.raises(ValueError):
+            history.start()
+
+
+class TestWindowSelection:
+    def test_window_is_trailing_and_inclusive(self):
+        points = [point(float(t)) for t in (0, 10, 20, 30)]
+        assert [p.unix_s for p in points_in_window(points, 20.0)] == [10, 20, 30]
+        assert [p.unix_s for p in points_in_window(points, None)] == [0, 10, 20, 30]
+
+    def test_explicit_now_shifts_the_window(self):
+        points = [point(float(t)) for t in (0, 10, 20, 30)]
+        assert [p.unix_s for p in points_in_window(points, 12.0, now=20.0)] == [
+            10,
+            20,
+        ]
+
+    def test_payload_round_trip(self):
+        points = [point(1.0, sample("t_total", 2))]
+        payload = {"points": [p.to_record() for p in points]}
+        restored = points_from_payload(payload)
+        assert restored[0].samples == points[0].samples
+
+
+class TestCounterQueries:
+    def test_increase_and_rate(self):
+        points = [
+            point(0.0, sample("t_total", 10)),
+            point(50.0, sample("t_total", 30)),
+            point(100.0, sample("t_total", 40)),
+        ]
+        assert counter_increase(points, "t_total") == 30.0
+        assert counter_rate(points, "t_total") == pytest.approx(0.3)
+        assert counter_increase(points, "t_total", window_s=50.0) == 10.0
+
+    def test_fewer_than_two_points_is_none(self):
+        assert counter_increase([point(0.0, sample("t_total", 5))], "t_total") is None
+        assert counter_rate([], "t_total") is None
+
+    def test_reset_mid_window_is_none(self):
+        points = [
+            point(0.0, sample("t_total", 50)),
+            point(60.0, sample("t_total", 3)),
+        ]
+        assert counter_increase(points, "t_total") is None
+
+    def test_series_born_mid_window_counts_from_zero(self):
+        points = [point(0.0), point(60.0, sample("t_total", 7))]
+        assert counter_increase(points, "t_total") == 7.0
+
+    def test_series_absent_at_window_end_is_none(self):
+        points = [point(0.0, sample("t_total", 7)), point(60.0)]
+        assert counter_increase(points, "t_total") is None
+
+    def test_label_subset_pools_matching_series(self):
+        points = [
+            point(0.0, sample("t_total", 1, fate="a"), sample("t_total", 2, fate="b")),
+            point(60.0, sample("t_total", 5, fate="a"), sample("t_total", 2, fate="b")),
+        ]
+        assert counter_increase(points, "t_total") == 4.0
+        assert counter_increase(points, "t_total", fate="a") == 4.0
+        assert counter_increase(points, "t_total", fate="b") == 0.0
+
+
+class TestGaugeQueries:
+    def test_delta_can_be_negative(self):
+        points = [point(0.0, sample("depth", 9)), point(60.0, sample("depth", 4))]
+        assert gauge_delta(points, "depth") == -5.0
+
+    def test_absent_endpoint_is_none(self):
+        points = [point(0.0), point(60.0, sample("depth", 4))]
+        assert gauge_delta(points, "depth") is None
+
+
+class TestWindowedQuantile:
+    @staticmethod
+    def histogram_point(unix_s, le_counts, **labels):
+        return point(
+            unix_s,
+            *(
+                sample("lat_bucket", count, le=le, **labels)
+                for le, count in le_counts.items()
+            ),
+        )
+
+    def test_quantile_over_bucket_deltas(self):
+        points = [
+            self.histogram_point(0.0, {"1": 100, "2": 100, "+Inf": 100}),
+            # Only the window's 10 new observations land in (1, 2]; the
+            # cumulative quantile over the end scrape alone would be
+            # dominated by the 100 old sub-1.0 observations.
+            self.histogram_point(60.0, {"1": 100, "2": 110, "+Inf": 110}),
+        ]
+        assert windowed_quantile(points, "lat", 0.5) == pytest.approx(1.5)
+
+    def test_no_new_observations_is_none(self):
+        points = [
+            self.histogram_point(0.0, {"1": 5, "+Inf": 5}),
+            self.histogram_point(60.0, {"1": 5, "+Inf": 5}),
+        ]
+        assert windowed_quantile(points, "lat", 0.99) is None
+
+    def test_bucket_reset_is_none(self):
+        points = [
+            self.histogram_point(0.0, {"1": 5, "+Inf": 5}),
+            self.histogram_point(60.0, {"1": 2, "+Inf": 2}),
+        ]
+        assert windowed_quantile(points, "lat", 0.5) is None
+
+    def test_bucket_born_mid_window_counts_from_zero(self):
+        points = [
+            point(0.0),
+            self.histogram_point(60.0, {"1": 4, "+Inf": 4}),
+        ]
+        assert windowed_quantile(points, "lat", 0.5) == pytest.approx(0.5)
+
+
+class TestParseDuration:
+    def test_suffixes(self):
+        assert parse_duration("90s") == 90.0
+        assert parse_duration("5m") == 300.0
+        assert parse_duration("1h") == 3600.0
+        assert parse_duration("2d") == 172800.0
+        assert parse_duration("45") == 45.0
+        assert parse_duration("1.5m") == 90.0
+
+    def test_rejects_garbage_and_nonpositive(self):
+        for bad in ("", "5x", "-3m", "0", "0s", "m"):
+            with pytest.raises(ValueError):
+                parse_duration(bad)
+
+
+class TestHistoryLoader:
+    def test_bad_record_names_path_and_line(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"unix_s": 1, "metrics": ""}\nnot json\n')
+        with pytest.raises(ValueError) as excinfo:
+            load_history_jsonl(path)
+        assert "hist.jsonl" in str(excinfo.value)
+        assert "2" in str(excinfo.value)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps({"unix_s": 3, "metrics": ""}) + "\n\n")
+        assert [p.unix_s for p in load_history_jsonl(path)] == [3.0]
+
+
+class TestWindowedSLOs:
+    @staticmethod
+    def ingest_points(values, step_s=60.0):
+        return [
+            point(index * step_s, sample("collector_records_ingested_total", value))
+            for index, value in enumerate(values)
+        ]
+
+    def test_burning_needs_both_windows(self):
+        # Drops grew only in the distant past: the slow window sees the
+        # increase, the fast window (which starts after it) does not —
+        # and a fast-only or slow-only failure must not page.
+        points = [
+            point(0.0, sample("collector_records_total", 0, fate="dropped")),
+            point(100.0, sample("collector_records_total", 3, fate="dropped")),
+            point(4000.0, sample("collector_records_total", 3, fate="dropped")),
+        ]
+        results = {
+            r.name: r
+            for r in evaluate_slos_windowed(
+                points, fast_window_s=300.0, slow_window_s=4000.0
+            )
+        }
+        result = results["zero-dropped-records"]
+        assert isinstance(result, SLOBurnResult)
+        assert not result.slow.ok  # the slow window does see the growth
+        assert result.fast.ok  # ...but the fast window does not
+        assert not result.burning
+
+    def test_sustained_burn_fires(self):
+        points = [
+            point(0.0, sample("collector_records_total", 0, fate="dropped")),
+            point(100.0, sample("collector_records_total", 3, fate="dropped")),
+            point(200.0, sample("collector_records_total", 6, fate="dropped")),
+        ]
+        results = {
+            r.name: r
+            for r in evaluate_slos_windowed(
+                points, fast_window_s=150.0, slow_window_s=300.0
+            )
+        }
+        assert results["zero-dropped-records"].burning
+        assert results["zero-dropped-records"].status == "BURNING"
+
+    def test_ingest_stall_burns_only_with_prior_traffic(self):
+        stalled = self.ingest_points([10, 10, 10])
+        results = {r.name: r for r in evaluate_slos_windowed(stalled)}
+        assert results["ingest-not-stalled"].burning
+
+        flowing = self.ingest_points([10, 15, 20])
+        results = {r.name: r for r in evaluate_slos_windowed(flowing)}
+        assert not results["ingest-not-stalled"].burning
+
+        # A collector that never saw a record is idle, not stalled.
+        idle = self.ingest_points([0, 0, 0])
+        results = {r.name: r for r in evaluate_slos_windowed(idle)}
+        assert not results["ingest-not-stalled"].burning
+        assert results["ingest-not-stalled"].no_data
+
+    def test_slow_window_must_cover_fast(self):
+        with pytest.raises(ValueError):
+            evaluate_slos_windowed(
+                self.ingest_points([1, 2]), fast_window_s=600.0, slow_window_s=60.0
+            )
+
+    def test_single_scrape_is_the_degenerate_window(self):
+        # evaluate_slos over raw samples must keep its cumulative
+        # semantics: one scrape with dropped records still burns.
+        results = {
+            r.name: r
+            for r in evaluate_slos(
+                [sample("collector_records_total", 2, fate="dropped")]
+            )
+        }
+        assert not results["zero-dropped-records"].ok
+
+    def test_window_quantile_matches_module_query(self):
+        points = [
+            point(
+                0.0,
+                sample("service_request_seconds_bucket", 0, le="1"),
+                sample("service_request_seconds_bucket", 0, le="+Inf"),
+            ),
+            point(
+                300.0,
+                sample("service_request_seconds_bucket", 40, le="1"),
+                sample("service_request_seconds_bucket", 40, le="+Inf"),
+            ),
+        ]
+        window = Window(points)
+        assert window.is_windowed
+        assert window.quantile(0.99, "service_request_seconds") == pytest.approx(
+            windowed_quantile(points, "service_request_seconds", 0.99)
+        )

@@ -398,3 +398,38 @@ class TestObservability:
             if sample.label("verb") == "ping" and sample.label("outcome") == "ok"
         ]
         assert pings == [2]
+
+    def test_metrics_history_verb_serves_retained_scrapes(self, daemon, client):
+        from repro.obs.timeseries import points_from_payload
+
+        daemon.history.snapshot()
+        payload = client.metrics_history()
+        assert payload["interval_s"] == daemon.history.interval_s
+        points = points_from_payload(payload)
+        assert len(points) >= 2  # the snapshot above plus the read-time one
+        names = {sample.name for sample in points[-1].samples}
+        assert "daemon_uptime_seconds" in names
+        # The client surfaces invalid parameters as ServiceError.
+        with pytest.raises(ServiceError, match="window_s"):
+            client.metrics_history(window_s=-5)
+
+    def test_history_spill_written_by_daemon(self, tmp_path):
+        from repro.obs.timeseries import load_history_jsonl
+
+        spill = tmp_path / "daemon-hist.jsonl"
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "spill.sock", workers=1,
+            scrape_interval_s=0.05, history_spill=spill,
+        )
+        daemon.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if spill.exists() and len(spill.read_text().splitlines()) >= 2:
+                    break
+                time.sleep(0.02)
+        finally:
+            daemon.close()
+        points = load_history_jsonl(spill)
+        assert len(points) >= 2
+        assert [p.unix_s for p in points] == sorted(p.unix_s for p in points)
