@@ -13,8 +13,9 @@ Two regression gates are asserted:
   (``run_synchronous_reference``) on the n=10⁴ random tree, with
   bit-identical ``RunResult`` fields, and
 * the vectorized engine stays above per-scenario speedup floors over the
-  interpreted engine at n=10⁵ (forest 3-colouring ≥10×, Linial ≥5×),
-  again with bit-identical results.
+  interpreted engine at n=10⁵ (forest 3-colouring ≥10×; Linial,
+  colour-class MIS and Δ+1 colour reduction ≥5×), again with
+  bit-identical results.
 
 In full (non-smoke) mode the vectorized backend additionally runs the
 million-node instances the interpreted engine cannot reach in reasonable
@@ -42,8 +43,11 @@ if _SRC not in sys.path:
 from _harness import record_json, record_table, scenario_entry, timed  # noqa: E402
 
 from repro.analysis import MeasurementTable  # noqa: E402
+from repro.baselines.color_reduction import ColorClassReduction  # noqa: E402
+from repro.baselines.coloring import deg_plus_one_coloring  # noqa: E402
 from repro.baselines.forest_coloring import ForestThreeColoring  # noqa: E402
 from repro.baselines.linial import LinialColoring  # noqa: E402
+from repro.baselines.mis import ColorClassMIS  # noqa: E402
 from repro.baselines import maximal_independent_set  # noqa: E402
 from repro.decomposition import arboricity_decomposition, rake_and_compress  # noqa: E402
 from repro.generators import (  # noqa: E402
@@ -52,7 +56,12 @@ from repro.generators import (  # noqa: E402
     random_graph_with_max_degree,
     random_tree,
 )
-from repro.local import Network, run_synchronous, run_synchronous_reference  # noqa: E402
+from repro.local import (  # noqa: E402
+    EnginePolicy,
+    Network,
+    run_synchronous,
+    run_synchronous_reference,
+)
 from repro.local.vectorized import run_vectorized  # noqa: E402
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
@@ -68,9 +77,19 @@ SPEEDUP_FACTOR = 5.0
 #: the floors leave headroom for machine noise.
 VEC_SPEEDUP_N = 20000 if SMOKE else 100_000
 VEC_SPEEDUP_FLOORS = (
-    {"linial": 3.0, "forest-3-coloring": 5.0}
+    {
+        "linial": 3.0,
+        "forest-3-coloring": 5.0,
+        "color-class-mis": 3.0,
+        "color-class-reduction": 3.0,
+    }
     if SMOKE
-    else {"linial": 5.0, "forest-3-coloring": 10.0}
+    else {
+        "linial": 5.0,
+        "forest-3-coloring": 10.0,
+        "color-class-mis": 5.0,
+        "color-class-reduction": 5.0,
+    }
 )
 
 #: Full-mode-only demonstration size for the vectorized backend.
@@ -101,11 +120,13 @@ def _engine_scenarios():
 
     n = 1000 if SMOKE else 5000
     graph = random_graph_with_max_degree(n, 8, seed=7)
-    run, seconds = timed(lambda: maximal_independent_set(graph))
-    entries.append(scenario_entry(
-        "sync/color-class-mis/bounded-degree", n, seconds,
-        rounds=run.rounds, engine="interpreted",
-    ))
+    for engine in ("interpreted", "vectorized"):
+        with EnginePolicy(engine):
+            run, seconds = timed(lambda: maximal_independent_set(graph))
+        entries.append(scenario_entry(
+            "sync/color-class-mis/bounded-degree", n, seconds,
+            rounds=run.rounds, engine=engine,
+        ))
     return entries
 
 
@@ -115,9 +136,8 @@ def _decomposition_scenarios():
     n = 3000 if SMOKE else 30000
     tree = random_tree(n, seed=5)
     for engine in ("interpreted", "vectorized"):
-        decomposition, seconds = timed(
-            lambda: rake_and_compress(tree, k=8, engine=engine)
-        )
+        with EnginePolicy(engine):
+            decomposition, seconds = timed(lambda: rake_and_compress(tree, k=8))
         entries.append(scenario_entry(
             "decomposition/rake-compress/random-tree", n, seconds,
             rounds=decomposition.rounds, engine=engine,
@@ -126,9 +146,10 @@ def _decomposition_scenarios():
     n = 1000 if SMOKE else 10000
     graph = forest_union(n, arboricity=3, seed=11)
     for engine in ("interpreted", "vectorized"):
-        decomposition, seconds = timed(
-            lambda: arboricity_decomposition(graph, arboricity=3, k=15, engine=engine)
-        )
+        with EnginePolicy(engine):
+            decomposition, seconds = timed(
+                lambda: arboricity_decomposition(graph, arboricity=3, k=15)
+            )
         entries.append(scenario_entry(
             "decomposition/arboricity/forest-union", n, seconds,
             rounds=decomposition.rounds, engine=engine,
@@ -154,7 +175,9 @@ def _speedup_scenario():
         (ForestThreeColoring, parents, "forest-3-coloring"),
     ):
         network = Network(tree, node_inputs=inputs)
-        fast, fast_seconds = timed(lambda: run_synchronous(network, algorithm_factory()))
+        fast, fast_seconds = timed(
+            lambda: run_synchronous(network, algorithm_factory())
+        )
         reference, reference_seconds = timed(
             lambda: run_synchronous_reference(network, algorithm_factory())
         )
@@ -186,13 +209,30 @@ def _vectorized_speedup_scenario():
     """
     tree = random_tree(VEC_SPEEDUP_N, seed=42)
     parents = bfs_forest_parents(tree)
+    coloring = deg_plus_one_coloring(tree)
+    num_classes = max(coloring.colours.values(), default=1)
+    colour_inputs = dict(coloring.colours)
+    shared = {"num_classes": num_classes}
     entries = []
     speedups = {}
-    for algorithm_factory, inputs, name in (
-        (LinialColoring, None, "linial"),
-        (ForestThreeColoring, parents, "forest-3-coloring"),
+    for algorithm_factory, network, name in (
+        (LinialColoring, Network(tree), "linial"),
+        (
+            ForestThreeColoring,
+            Network(tree, node_inputs=parents),
+            "forest-3-coloring",
+        ),
+        (
+            ColorClassMIS,
+            Network(tree, node_inputs=colour_inputs, shared=shared),
+            "color-class-mis",
+        ),
+        (
+            ColorClassReduction,
+            Network(tree, node_inputs=colour_inputs, shared=shared),
+            "color-class-reduction",
+        ),
     ):
-        network = Network(tree, node_inputs=inputs)
         vectorized, vectorized_seconds = timed(
             lambda: run_vectorized(network, algorithm_factory())
         )

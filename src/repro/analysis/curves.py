@@ -12,8 +12,6 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-import numpy as np
-
 
 def fit_power_of_log(ns: Sequence[float], values: Sequence[float]) -> tuple[float, float]:
     """Least-squares fit of ``value ≈ c · (log₂ n)^β``.
@@ -42,7 +40,20 @@ def fit_power_of_log(ns: Sequence[float], values: Sequence[float]) -> tuple[floa
             "need at least two usable data points to fit a curve "
             f"(kept {len(xs)} of {len(xs) + len(dropped)});{detail}"
         )
-    slope, intercept = np.polyfit(np.array(xs), np.array(ys), 1)
+    # Closed-form one-dimensional least squares (what np.polyfit(deg=1)
+    # computes) — kept numpy-free so the analysis layer, and everything
+    # that imports it, stays usable on an interpreted-only stack.
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0.0:
+        raise ValueError(
+            "cannot fit a curve: all points share one n "
+            f"(log log₂ n = {mean_x!r})"
+        )
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / variance
+    intercept = mean_y - slope * mean_x
     return float(slope), float(math.exp(intercept))
 
 

@@ -13,7 +13,7 @@ from typing import Hashable, Mapping
 
 import networkx as nx
 
-from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, run_synchronous
+from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, select_engine
 
 
 class ColorClassReduction(SynchronousAlgorithm):
@@ -65,7 +65,8 @@ def reduce_to_deg_plus_one(
         node_inputs=dict(colours),
         shared={"num_classes": num_classes},
     )
-    result: RunResult = run_synchronous(
-        network, ColorClassReduction(), max_rounds=num_classes + 1
+    algorithm = ColorClassReduction()
+    result: RunResult = select_engine(algorithm)(
+        network, algorithm, max_rounds=num_classes + 1
     )
     return result.outputs, result.rounds

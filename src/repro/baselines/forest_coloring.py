@@ -121,7 +121,6 @@ def color_forest_three(
     forest: nx.Graph,
     parents: Mapping[Hashable, Hashable | None],
     identifiers: Mapping[Hashable, int] | None = None,
-    engine: str | None = None,
 ) -> tuple[dict, int]:
     """3-colour a rooted forest in ``O(log* n)`` rounds.
 
@@ -134,9 +133,7 @@ def color_forest_three(
         non-``None`` parent must be a neighbour of the node.
     identifiers:
         Optional identifier assignment (defaults to the canonical one).
-    engine:
-        Optional engine-mode override (``auto`` / ``interpreted`` /
-        ``vectorized``); defaults to the ambient scope's mode.
+        Engine choice is ambient (:class:`~repro.local.EnginePolicy`).
 
     Returns
     -------
@@ -154,5 +151,5 @@ def color_forest_three(
         node_inputs={node: parents.get(node) for node in forest.nodes()},
     )
     algorithm = ForestThreeColoring()
-    result: RunResult = select_engine(algorithm, engine)(network, algorithm)
+    result: RunResult = select_engine(algorithm)(network, algorithm)
     return result.outputs, result.rounds

@@ -137,13 +137,13 @@ class LinialColoring(SynchronousAlgorithm):
 def linial_coloring(
     graph: nx.Graph,
     identifiers: Mapping[Hashable, int] | None = None,
-    engine: str | None = None,
 ) -> tuple[dict, int, int]:
     """Properly colour ``graph`` with ``O(Δ²)`` colours in ``O(log* n)`` rounds.
 
     Returns ``(colours, palette_size, rounds)`` where colours are 1-based.
-    ``engine`` overrides the ambient engine mode (``auto`` uses the
-    vectorized backend when numpy is importable; results are identical).
+    Engine choice is ambient (:class:`~repro.local.EnginePolicy`):
+    ``auto`` uses the array engine when a backend is available; results
+    are identical either way.
     """
     network = Network(graph, identifiers=identifiers)
     if network.num_nodes == 0:
@@ -152,6 +152,6 @@ def linial_coloring(
         network.max_identifier + 1, network.max_degree
     )
     algorithm = LinialColoring()
-    result: RunResult = select_engine(algorithm, engine)(network, algorithm)
+    result: RunResult = select_engine(algorithm)(network, algorithm)
     del schedule
     return result.outputs, final_colours, result.rounds

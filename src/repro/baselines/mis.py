@@ -14,7 +14,7 @@ from typing import Hashable, Mapping
 import networkx as nx
 
 from repro.baselines.coloring import deg_plus_one_coloring
-from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, run_synchronous
+from repro.local import Network, NodeContext, RunResult, SynchronousAlgorithm, select_engine
 
 
 class ColorClassMIS(SynchronousAlgorithm):
@@ -70,8 +70,9 @@ def maximal_independent_set(
         node_inputs=dict(coloring.colours),
         shared={"num_classes": num_classes},
     )
-    result: RunResult = run_synchronous(
-        network, ColorClassMIS(), max_rounds=num_classes + 2
+    algorithm = ColorClassMIS()
+    result: RunResult = select_engine(algorithm)(
+        network, algorithm, max_rounds=num_classes + 2
     )
     independent = {node for node, joined in result.outputs.items() if joined}
     return MISRun(

@@ -146,7 +146,6 @@ def arboricity_decomposition(
     b: int | None = None,
     identifiers: dict[Hashable, int] | None = None,
     strict_iteration_bound: bool = False,
-    engine: str | None = None,
 ) -> ArboricityDecomposition:
     """Run Algorithm 3 on ``graph`` and derive the edge structures of Section 4.
 
@@ -165,10 +164,11 @@ def arboricity_decomposition(
     strict_iteration_bound:
         When true, raise if the peeling needs more iterations than the
         Lemma 13 bound.
-    engine:
-        Optional engine-mode override; under ``auto``/``vectorized`` the
-        peeling loop runs as whole-graph array operations (identical
-        layers, snapshots, iterations and errors).
+
+    Engine choice is ambient (:class:`~repro.local.EnginePolicy`): under
+    ``auto``/``vectorized`` the peeling loop runs as whole-graph array
+    operations on the policy's backend (identical layers, snapshots,
+    iterations and errors).
     """
     if arboricity < 1:
         raise ValueError("the arboricity bound must be at least 1")
@@ -198,10 +198,12 @@ def arboricity_decomposition(
     # node objects through dict-of-set adjacencies every iteration.
     csr = CSRAdjacency.from_graph(graph)
 
-    from repro.local.vectorized import use_vectorized
+    from repro.local.vectorized import active_backend
 
-    if use_vectorized(engine):
+    xp = active_backend()
+    if xp is not None:
         layers, node_iteration, degree_snapshots, iteration = _peel_vectorized(
+            xp,
             csr,
             k,
             b,
@@ -211,7 +213,12 @@ def arboricity_decomposition(
             theoretical_bound,
             strict_iteration_bound,
         )
-        note_engine_use("vectorized")
+        note_engine_use(
+            "vectorized",
+            kernel="arboricity-peel",
+            backend=xp.name,
+            rounds=ROUNDS_PER_ITERATION * iteration,
+        )
         return _finish_decomposition(
             graph,
             arboricity,
@@ -278,7 +285,11 @@ def arboricity_decomposition(
             remaining[i] = 0
         alive_indices = [i for i in alive_indices if alive[i]]
 
-    note_engine_use("interpreted")
+    note_engine_use(
+        "interpreted",
+        kernel="arboricity-peel",
+        rounds=ROUNDS_PER_ITERATION * iteration,
+    )
     return _finish_decomposition(
         graph,
         arboricity,
@@ -294,6 +305,7 @@ def arboricity_decomposition(
 
 
 def _peel_vectorized(
+    xp,
     csr: CSRAdjacency,
     k: int,
     b: int,
@@ -303,7 +315,7 @@ def _peel_vectorized(
     theoretical_bound: int,
     strict_iteration_bound: bool,
 ) -> tuple[list[frozenset], dict, list[dict], int]:
-    """The Compress(G, b, k) peeling loop as whole-graph array operations.
+    """The Compress(G, b, k) peeling loop as array operations on ``xp``.
 
     One segment reduction per iteration counts each node's alive
     neighbours of remaining degree > k; the marked set and the degree
@@ -311,14 +323,10 @@ def _peel_vectorized(
     ``_classify_edges`` compares exactly what the interpreted loop
     recorded.
     """
-    import numpy as np
-
-    from repro.local.vectorized import _segment_sum
-
     indptr, indices, _ = csr.array_layout()
     node_of = csr.nodes
     remaining = indptr[1:] - indptr[:-1]
-    alive = np.ones(n, dtype=bool)
+    alive = xp.full(n, True, dtype=xp.bool_)
 
     layers: list[frozenset] = []
     node_iteration: dict[Hashable, int] = {}
@@ -337,7 +345,7 @@ def _peel_vectorized(
                 f"Algorithm 3 exceeded the Lemma 13 bound of {theoretical_bound} "
                 f"iterations (n={n}, a={arboricity}, b={b}, k={k})"
             )
-        alive_idx = np.flatnonzero(alive)
+        alive_idx = xp.flatnonzero(alive)
         degree_snapshots.append(
             dict(
                 zip(
@@ -348,19 +356,20 @@ def _peel_vectorized(
         )
         high = alive & (remaining > k)
         marked = (
-            alive & (remaining <= k) & (_segment_sum(high[indices], indptr) <= b)
+            alive & (remaining <= k) & (xp.segment_sum(high[indices], indptr) <= b)
         )
         if not marked.any():
             raise RuntimeError(
                 "Algorithm 3 made no progress; the arboricity bound or the "
                 "parameters (b, k) are inconsistent with the input graph"
             )
-        for i in np.flatnonzero(marked).tolist():
+        marked_list = xp.flatnonzero(marked).tolist()
+        for i in marked_list:
             node_iteration[node_of[i]] = iteration
-        layers.append(frozenset(node_of[i] for i in np.flatnonzero(marked).tolist()))
+        layers.append(frozenset(node_of[i] for i in marked_list))
         alive[marked] = False
-        drops = _segment_sum(marked[indices], indptr)
-        remaining = np.where(alive, remaining - drops, 0)
+        drops = xp.segment_sum(marked[indices], indptr)
+        remaining = xp.where(alive, remaining - drops, 0)
 
     return layers, node_iteration, degree_snapshots, iteration
 

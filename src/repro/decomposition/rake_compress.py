@@ -149,7 +149,6 @@ def rake_and_compress(
     k: int,
     identifiers: dict[Hashable, int] | None = None,
     strict_iteration_bound: bool = False,
-    engine: str | None = None,
 ) -> RakeCompressDecomposition:
     """Run Algorithm 1 on ``tree`` with compress parameter ``k``.
 
@@ -167,10 +166,11 @@ def rake_and_compress(
         When true, raise if the process needs more than the paper's
         ``⌈log_k n⌉ + 1`` iterations; otherwise keep iterating (and record
         the excess), which is useful for k-sweep ablations.
-    engine:
-        Optional engine-mode override; under ``auto``/``vectorized`` the
-        peeling loop runs as whole-forest array operations (identical
-        layers, iterations and errors).
+
+    Engine choice is ambient (:class:`~repro.local.EnginePolicy`): under
+    ``auto``/``vectorized`` the peeling loop runs as whole-forest array
+    operations on the policy's backend (identical layers, iterations and
+    errors).
 
     Returns
     -------
@@ -195,13 +195,19 @@ def rake_and_compress(
     # flat offset/target arrays rather than dict-of-set adjacencies.
     csr = CSRAdjacency.from_graph(tree)
 
-    from repro.local.vectorized import use_vectorized
+    from repro.local.vectorized import active_backend
 
-    if use_vectorized(engine):
+    xp = active_backend()
+    if xp is not None:
         layers, node_layer, iteration = _peel_vectorized(
-            csr, k, n, safety_cap, theoretical_bound, strict_iteration_bound
+            xp, csr, k, n, safety_cap, theoretical_bound, strict_iteration_bound
         )
-        note_engine_use("vectorized")
+        note_engine_use(
+            "vectorized",
+            kernel="rake-compress-peel",
+            backend=xp.name,
+            rounds=ROUNDS_PER_ITERATION * iteration,
+        )
         return RakeCompressDecomposition(
             tree=tree,
             k=k,
@@ -271,7 +277,11 @@ def rake_and_compress(
                 "rake-and-compress made no progress; the input is not a forest"
             )
 
-    note_engine_use("interpreted")
+    note_engine_use(
+        "interpreted",
+        kernel="rake-compress-peel",
+        rounds=ROUNDS_PER_ITERATION * iteration,
+    )
     return RakeCompressDecomposition(
         tree=tree,
         k=k,
@@ -302,6 +312,7 @@ def _remove(
 
 
 def _peel_vectorized(
+    xp,
     csr: CSRAdjacency,
     k: int,
     n: int,
@@ -309,7 +320,7 @@ def _peel_vectorized(
     theoretical_bound: int,
     strict_iteration_bound: bool,
 ) -> tuple[list[Layer], dict, int]:
-    """The peeling loop as whole-forest array operations.
+    """The peeling loop as whole-forest array operations on backend ``xp``.
 
     Per iteration: one segment reduction decides the compress set (no
     alive neighbour of remaining degree > k), one more the degree drops
@@ -317,19 +328,15 @@ def _peel_vectorized(
     produced are identical to the interpreted loop's — both remove all
     marked nodes of an iteration simultaneously.
     """
-    import numpy as np
-
-    from repro.local.vectorized import _segment_sum
-
     indptr, indices, _ = csr.array_layout()
     node_of = csr.nodes
     remaining = indptr[1:] - indptr[:-1]
-    alive = np.ones(n, dtype=bool)
+    alive = xp.full(n, True, dtype=xp.bool_)
 
     def remove(mask):
         alive[mask] = False
-        drops = _segment_sum(mask[indices], indptr)
-        return np.where(alive, remaining - drops, 0)
+        drops = xp.segment_sum(mask[indices], indptr)
+        return xp.where(alive, remaining - drops, 0)
 
     layers: list[Layer] = []
     node_layer: dict[Hashable, Layer] = {}
@@ -350,14 +357,14 @@ def _peel_vectorized(
 
         high = alive & (remaining > k)
         compressed = (
-            alive & (remaining <= k) & (_segment_sum(high[indices], indptr) == 0)
+            alive & (remaining <= k) & (xp.segment_sum(high[indices], indptr) == 0)
         )
         remaining = remove(compressed)
         if compressed.any():
             layer = Layer(
                 iteration,
                 "compress",
-                frozenset(node_of[i] for i in np.flatnonzero(compressed).tolist()),
+                frozenset(node_of[i] for i in xp.flatnonzero(compressed).tolist()),
             )
             layers.append(layer)
             for node in layer.nodes:
@@ -369,7 +376,7 @@ def _peel_vectorized(
             layer = Layer(
                 iteration,
                 "rake",
-                frozenset(node_of[i] for i in np.flatnonzero(raked).tolist()),
+                frozenset(node_of[i] for i in xp.flatnonzero(raked).tolist()),
             )
             layers.append(layer)
             for node in layer.nodes:

@@ -165,15 +165,21 @@ def build_parser() -> argparse.ArgumentParser:
             "engine selection (`run`/`submit --engine`):\n"
             "  auto         (default) each algorithm family picks its backend: "
             "kernel-capable\n               baselines (Linial, Cole–Vishkin "
-            "forest 3-colouring) and the\n               decomposition peels run "
-            "on the vectorized NumPy array engine,\n               everything "
-            "else on the interpreted active-set engine\n"
+            "forest 3-colouring, colour-class\n               MIS, Δ+1 colour "
+            "reduction) and the decomposition peels run on\n               the "
+            "vectorized array engine, everything else on the interpreted\n"
+            "               active-set engine\n"
             "  interpreted  force the interpreted engine everywhere\n"
             "  vectorized   require the array engine for kernel-capable "
             "families (fails if\n               numpy is unavailable)\n"
-            "  Results are bit-identical across engines; each stored cell "
-            "records the\n  backend(s) that served it in its `engine` field, "
-            "surfaced by `report`.\n"
+            "  Kernels run against a pluggable array backend "
+            "(`repro.local.ArrayBackend`,\n  NumPy by default; "
+            "register_backend() adds more); a family-declared engine pin\n"
+            "  degrades to the interpreted engine on a numpy-free "
+            "interpreter.  Results are\n  bit-identical across engines and "
+            "backends; each stored cell records what\n  served it in its "
+            "`engine` field (e.g. `vectorized[numpy]`) plus per-kernel\n"
+            "  round counts in `engine_rounds`, surfaced by `report`.\n"
             "\n"
             "cross-machine transport:\n"
             "  `serve --listen host:port` adds a token-authenticated TCP "

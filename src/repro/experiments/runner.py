@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 
 from repro.experiments.shard import ShardSpec, shard_cells
 
-from repro.local import EngineScope, MessageMeter, numpy_available
+from repro.local import EnginePolicy, MessageMeter, numpy_available
 from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
 from repro.obs import PhaseTimer, span
@@ -58,8 +58,11 @@ def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResu
 
     Top-level and argument-picklable by design: this is the function the
     process pool ships to workers.  ``engine`` is the sweep-level
-    ``--engine`` override; the backend(s) that actually served the cell
-    are recorded in ``CellResult.engine``.
+    ``--engine`` override, resolved here into one ambient
+    :class:`~repro.local.EnginePolicy` per cell; the engine and array
+    backend that actually served the cell are recorded in
+    ``CellResult.engine`` (e.g. ``"vectorized[numpy]"``) and the
+    per-kernel round account in ``CellResult.engine_rounds``.
 
     The cell runs under an ambient :class:`~repro.obs.PhaseTimer`: the
     instance build is the ``generate`` phase, the algorithm callable is
@@ -78,7 +81,7 @@ def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResu
         if generator.build is not None:
             with span("generate"):
                 graph = generator.build(cell.n, cell.seed)
-        with MessageMeter() as meter, EngineScope(mode) as scope, span("run"):
+        with MessageMeter() as meter, EnginePolicy(mode) as policy, span("run"):
             fields = algorithm.run(graph, generator, cell.n)
     wall_clock = time.perf_counter() - start
 
@@ -98,7 +101,8 @@ def run_cell(suite_name: str, cell: Cell, engine: str | None = None) -> CellResu
         verified=bool(fields["verified"]),
         k=fields.get("k"),
         extras=dict(fields.get("extras", {})),
-        engine=scope.engine_used,
+        engine=policy.engine_used,
+        engine_rounds=dict(policy.dispatches) or None,
         timings=timer.timings() or None,
     )
 

@@ -587,6 +587,7 @@ register_algorithm(AlgorithmFamily(
     kind="baseline",
     run=_run_baseline_deg_plus_one,
     covers=("deg_plus_one_coloring",),
+    engine="vectorized",
 ))
 register_algorithm(AlgorithmFamily(
     name="baseline-edge-coloring",
@@ -601,6 +602,7 @@ register_algorithm(AlgorithmFamily(
     kind="baseline",
     run=_run_baseline_mis,
     covers=("maximal_independent_set",),
+    engine="vectorized",
 ))
 register_algorithm(AlgorithmFamily(
     name="baseline-matching",
@@ -1048,6 +1050,22 @@ register_suite(Suite(
             name="forest-3coloring/large-vectorized",
             generator="random-tree",
             algorithm="baseline-forest-3coloring",
+            sizes=(50_000, 200_000, 1_000_000),
+            seeds=(1,),
+            smoke_sizes=(20_000,),
+        ),
+        ScenarioSpec(
+            name="mis/large-vectorized",
+            generator="random-tree",
+            algorithm="baseline-mis",
+            sizes=(50_000, 200_000, 1_000_000),
+            seeds=(1,),
+            smoke_sizes=(20_000,),
+        ),
+        ScenarioSpec(
+            name="deg+1-coloring/large-vectorized",
+            generator="random-tree",
+            algorithm="baseline-deg+1-coloring",
             sizes=(50_000, 200_000, 1_000_000),
             seeds=(1,),
             smoke_sizes=(20_000,),

@@ -79,12 +79,19 @@ class CellResult:
     #: ran without a cost model, including every pre-charging record.
     charged_rounds: float | None = None
     extras: dict[str, Any] = field(default_factory=dict)
-    #: Which simulation backend(s) actually served the cell —
-    #: "vectorized", "interpreted", "mixed", or ``None`` for cells that
-    #: ran no engine at all (analytic cells) and every pre-engine record.
-    #: Provenance only: results are bit-identical across backends, so the
-    #: field is nonsemantic for merge conflicts.
+    #: Which engine(s) actually served the cell —
+    #: "vectorized[<backend>]" (e.g. "vectorized[numpy]"),
+    #: "interpreted", "mixed", or ``None`` for cells that ran no engine
+    #: at all (analytic cells) and every pre-engine record.  Provenance
+    #: only: results are bit-identical across engines, so the field is
+    #: nonsemantic for merge conflicts.
     engine: str | None = None
+    #: Rounds simulated per engine dispatch, keyed
+    #: ``"engine/kernel/backend"`` (backend is ``"-"`` for interpreted
+    #: runs) — the per-cell account behind the daemon's
+    #: ``engine_rounds_total`` counter.  Telemetry, nonsemantic for
+    #: merge conflicts; ``None`` for analytic cells and older records.
+    engine_rounds: dict[str, int] | None = None
     #: Per-phase wall-clock breakdown (``{"generate": s, "run": s,
     #: "verify": s, "simulate": s}``) recorded by the ambient
     #: :class:`repro.obs.PhaseTimer` around the cell.  Pure telemetry:
@@ -111,6 +118,7 @@ class CellResult:
             "k": self.k,
             "extras": self.extras,
             "engine": self.engine,
+            "engine_rounds": self.engine_rounds,
             "timings": (
                 {phase: round(seconds, 6) for phase, seconds in self.timings.items()}
                 if self.timings is not None
@@ -136,6 +144,7 @@ class CellResult:
             k=record.get("k"),
             extras=dict(record.get("extras", {})),
             engine=record.get("engine"),
+            engine_rounds=record.get("engine_rounds"),
             timings=record.get("timings"),
         )
 
@@ -240,10 +249,18 @@ class ResultStore:
 #: Record fields ignored when deciding whether two records for the same
 #: fingerprint *conflict*.  Wall clock is nondeterministic timing, the
 #: suite/scenario labels are cosmetic groupings (the same cell may be run
-#: under different suites), the engine is execution provenance over
-#: bit-identical backends, and the per-phase timings are wall-clock
-#: telemetry; none makes two records different results.
-NONSEMANTIC_FIELDS = ("wall_clock_s", "suite", "scenario", "engine", "timings")
+#: under different suites), the engine and per-dispatch round account are
+#: execution provenance over bit-identical engines, and the per-phase
+#: timings are wall-clock telemetry; none makes two records different
+#: results.
+NONSEMANTIC_FIELDS = (
+    "wall_clock_s",
+    "suite",
+    "scenario",
+    "engine",
+    "engine_rounds",
+    "timings",
+)
 
 
 def semantic_payload(record: dict[str, Any]) -> dict[str, Any]:

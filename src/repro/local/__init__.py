@@ -15,11 +15,13 @@ This package provides:
   with the decomposition hot loops,
 * :class:`SynchronousAlgorithm` — the per-node state machine interface,
 * :func:`run_synchronous` — the active-set round-by-round simulator,
-* :func:`run_vectorized` — the NumPy array backend executing whole-network
-  rounds for kernel-capable baselines, bit-identical to the interpreted
-  engine (:mod:`repro.local.vectorized`),
-* :class:`EngineScope` / :func:`select_engine` — ambient engine policy
-  (``auto`` / ``interpreted`` / ``vectorized``) and per-algorithm dispatch,
+* :func:`run_vectorized` — the array engine executing whole-network
+  rounds for kernel-capable baselines on a pluggable
+  :class:`ArrayBackend`, bit-identical to the interpreted engine
+  (:mod:`repro.local.vectorized`, :mod:`repro.local.array_backend`),
+* :class:`EnginePolicy` / :func:`select_engine` — ambient engine policy
+  (``auto`` / ``interpreted`` / ``vectorized``, plus an array-backend
+  pin) and per-algorithm kernel dispatch via :class:`KernelRegistry`,
 * :func:`run_synchronous_reference` — the seed engine, kept as the
   equivalence oracle and benchmark baseline, and
 * :class:`RoundLedger` — explicit round accounting for the orchestrated
@@ -30,7 +32,19 @@ This package provides:
 from repro.local.csr import CSRAdjacency
 from repro.local.network import Network
 from repro.local.algorithm import NodeContext, SynchronousAlgorithm
-from repro.local.engine import ENGINE_MODES, EngineScope, current_engine_mode
+from repro.local.array_backend import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.local.engine import (
+    ENGINE_MODES,
+    EnginePolicy,
+    EngineScope,
+    current_engine_mode,
+    current_policy,
+)
 from repro.local.simulator import (
     MessageMeter,
     RunResult,
@@ -39,7 +53,12 @@ from repro.local.simulator import (
 )
 from repro.local.vectorized import (
     EngineUnavailable,
+    KernelRegistry,
+    KernelSpec,
+    KERNELS,
+    active_backend,
     numpy_available,
+    register_kernel,
     run_vectorized,
     select_engine,
     supports_vectorized,
@@ -52,13 +71,24 @@ __all__ = [
     "Network",
     "NodeContext",
     "SynchronousAlgorithm",
+    "ArrayBackend",
     "MessageMeter",
     "RunResult",
     "ENGINE_MODES",
+    "EnginePolicy",
     "EngineScope",
     "EngineUnavailable",
+    "KernelRegistry",
+    "KernelSpec",
+    "KERNELS",
+    "active_backend",
+    "available_backends",
     "current_engine_mode",
+    "current_policy",
+    "get_backend",
     "numpy_available",
+    "register_backend",
+    "register_kernel",
     "run_synchronous",
     "run_synchronous_reference",
     "run_vectorized",

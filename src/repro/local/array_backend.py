@@ -1,0 +1,206 @@
+"""Pluggable array-namespace backends for the vectorized engine.
+
+The vectorized engine used to be written directly against NumPy: every
+kernel body called ``np.`` functions, and "is the vectorized engine
+available?" meant "did ``import numpy`` succeed?".  This module lifts
+that dependency into an explicit :class:`ArrayBackend` protocol — the
+small set of array-namespace operations the kernels and decomposition
+peels actually use — plus a name-keyed registry so an alternative
+backend (a GPU array library, or any ``array_api``-conformant
+namespace wrapped in an adapter) slots in without touching kernel
+code.
+
+Only :class:`NumpyBackend` ships today.  Kernels receive the backend
+as their first argument and must route every namespace-level call
+(``asarray``, ``where``, ``segment_sum``, …) through it; plain array
+*methods* and operators (``%``, ``@``, ``>>``, fancy indexing,
+``.any()``, ``.tolist()``) are part of the array-api surface and fine
+to use directly.
+
+:func:`numpy_available` here is the single source of truth for
+engine availability — ``repro.local.vectorized.numpy_available`` and
+the runner's degrade-to-interpreted logic all delegate to it at call
+time, so tests can monkeypatch this one function to simulate a
+numpy-free interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ArrayBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "numpy_available",
+    "register_backend",
+]
+
+#: The backend every kernel runs on unless a policy names another one.
+DEFAULT_BACKEND = "numpy"
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """The array-namespace surface the vectorized kernels consume.
+
+    Implementations expose integer/boolean dtypes as attributes and the
+    namespace-level constructors and reductions below.  Arrays returned
+    by one method must be accepted by the others (no mixing backends
+    within a kernel).
+    """
+
+    name: str
+    int64: Any
+    bool_: Any
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any: ...
+
+    def fromiter(self, values: Any, dtype: Any, count: int = -1) -> Any: ...
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Any: ...
+
+    def empty(self, shape: Any, dtype: Any = None) -> Any: ...
+
+    def full(self, shape: Any, fill_value: Any, dtype: Any = None) -> Any: ...
+
+    def arange(self, stop: int, dtype: Any = None) -> Any: ...
+
+    def where(self, condition: Any, x: Any, y: Any) -> Any: ...
+
+    def cumsum(self, values: Any, dtype: Any = None) -> Any: ...
+
+    def segment_sum(self, values: Any, indptr: Any) -> Any: ...
+
+    def bitwise_count(self, values: Any) -> Any: ...
+
+    def gather(self, values: Any, indices: Any) -> Any: ...
+
+    def flatnonzero(self, mask: Any) -> Any: ...
+
+
+class NumpyBackend:
+    """The reference :class:`ArrayBackend` over NumPy.
+
+    Constructing it imports numpy; callers that must tolerate a
+    numpy-free interpreter go through :func:`get_backend` /
+    :func:`numpy_available` instead of instantiating directly.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        import numpy
+
+        self._np = numpy
+        self.int64 = numpy.int64
+        self.bool_ = numpy.bool_
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        return self._np.asarray(values, dtype=dtype)
+
+    def fromiter(self, values: Any, dtype: Any, count: int = -1) -> Any:
+        return self._np.fromiter(values, dtype=dtype, count=count)
+
+    def zeros(self, shape: Any, dtype: Any = None) -> Any:
+        return self._np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape: Any, dtype: Any = None) -> Any:
+        return self._np.empty(shape, dtype=dtype)
+
+    def full(self, shape: Any, fill_value: Any, dtype: Any = None) -> Any:
+        return self._np.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, stop: int, dtype: Any = None) -> Any:
+        return self._np.arange(stop, dtype=dtype)
+
+    def where(self, condition: Any, x: Any, y: Any) -> Any:
+        return self._np.where(condition, x, y)
+
+    def cumsum(self, values: Any, dtype: Any = None) -> Any:
+        return self._np.cumsum(values, dtype=dtype)
+
+    def segment_sum(self, values: Any, indptr: Any) -> Any:
+        """Sum ``values`` over CSR segments delimited by ``indptr``.
+
+        Implemented with an exclusive prefix sum rather than
+        ``add.reduceat`` — ``reduceat`` misreads empty segments (it
+        returns the *next* element instead of zero), and empty
+        neighbourhoods are routine once nodes start dropping out.
+        """
+        np = self._np
+        prefix = np.zeros(len(values) + 1, dtype=np.int64)
+        np.cumsum(values, dtype=np.int64, out=prefix[1:])
+        return prefix[indptr[1:]] - prefix[indptr[:-1]]
+
+    def bitwise_count(self, values: Any) -> Any:
+        np = self._np
+        if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+            return np.bitwise_count(values)
+        # Portable popcount for numpy 1.x: unpack the little-endian
+        # bytes of each int64 and sum bits per element.
+        flat = np.ascontiguousarray(values, dtype=np.int64)
+        as_bytes = flat.view(np.uint8).reshape(flat.shape + (8,))
+        return np.unpackbits(as_bytes, axis=-1).sum(axis=-1).astype(flat.dtype)
+
+    def gather(self, values: Any, indices: Any) -> Any:
+        return self._np.take(values, indices)
+
+    def flatnonzero(self, mask: Any) -> Any:
+        return self._np.flatnonzero(mask)
+
+
+_BACKENDS: dict[str, ArrayBackend] = {}
+
+
+def register_backend(backend: ArrayBackend, *, replace: bool = False) -> ArrayBackend:
+    """Register ``backend`` under its :attr:`~ArrayBackend.name`.
+
+    Refuses to silently shadow an existing registration unless
+    ``replace=True`` — two backends answering to the same name would
+    make ``engine`` provenance in results ambiguous.
+    """
+    existing = _BACKENDS.get(backend.name)
+    if existing is not None and existing is not backend and not replace:
+        raise ValueError(
+            f"array backend {backend.name!r} is already registered "
+            f"({type(existing).__name__}); pass replace=True to swap in "
+            f"{type(backend).__name__}"
+        )
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The backend registered under ``name`` (default :data:`DEFAULT_BACKEND`)."""
+    key = name or DEFAULT_BACKEND
+    try:
+        return _BACKENDS[key]
+    except KeyError:
+        raise KeyError(
+            f"no array backend named {key!r} is registered "
+            f"(available: {', '.join(available_backends()) or 'none'})"
+        ) from None
+
+
+def numpy_available() -> bool:
+    """Whether the default (NumPy) backend is usable.
+
+    The single monkeypatch point for simulating a numpy-free
+    interpreter: every availability check in the engine stack funnels
+    through this function at call time.
+    """
+    return DEFAULT_BACKEND in _BACKENDS
+
+
+try:
+    register_backend(NumpyBackend())
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    pass

@@ -1,36 +1,44 @@
-"""Ambient engine selection for the synchronous simulator.
+"""Ambient engine policy for the synchronous simulator.
 
 Two engines can execute a structured-message baseline: the interpreted
 active-set engine (:func:`repro.local.simulator.run_synchronous`, one
 Python callable dispatch per node per round) and the vectorized array
-backend (:func:`repro.local.vectorized.run_vectorized`, one NumPy kernel
-per round over whole-network state arrays).  Which one runs is a
-*policy* decision that has to reach call sites buried many layers deep —
+engine (:func:`repro.local.vectorized.run_vectorized`, one array kernel
+per round over whole-network state, on a pluggable
+:mod:`~repro.local.array_backend`).  Which one runs is a *policy*
+decision that has to reach call sites buried many layers deep —
 ``deg_plus_one_coloring`` calls ``linial_coloring`` calls the engine —
 so the choice travels the same way message accounting does
-(:class:`~repro.local.simulator.MessageMeter`): as an ambient scope
-rather than a parameter threaded through every signature::
+(:class:`~repro.local.simulator.MessageMeter`): as an ambient policy
+object rather than an ``engine=`` parameter threaded through every
+signature::
 
-    with EngineScope("vectorized"):
+    with EnginePolicy("vectorized"):
         colours, palette, rounds = linial_coloring(graph)
-    # every kernel-capable run inside used the array backend
+    # every kernel-capable run inside used the array engine
 
 Modes
 -----
 ``auto``
-    Use the vectorized backend wherever a kernel exists and numpy is
-    importable; fall back to the interpreted engine otherwise.  This is
-    the default (also with no scope active at all).
+    Use the array engine wherever a kernel exists and an array backend
+    is available; fall back to the interpreted engine otherwise.  This
+    is the default (also with no policy active at all).
 ``interpreted``
     Always use the interpreted engine.
 ``vectorized``
-    Require the array backend; a kernel-capable call site raises
-    :class:`~repro.local.vectorized.EngineUnavailable` when numpy is
-    missing or the algorithm has no kernel.
+    Require the array engine; a kernel-capable call site raises
+    :class:`~repro.local.vectorized.EngineUnavailable` when the backend
+    is missing or the algorithm has no kernel.
 
-The scope also records which backends actually served work inside it
-(``vectorized_runs`` / ``interpreted_runs``), which is how the
-experiment runner stamps the ``engine`` provenance field onto each
+A policy may additionally pin the array *backend* by registry name
+(``EnginePolicy("vectorized", backend="numpy")``); with no pin the
+default backend serves.
+
+The policy also records what actually served work inside it: run
+counts per engine, the set of array backends used, and a per-dispatch
+round account keyed ``"engine/kernel/backend"`` (:attr:`dispatches`) —
+which is how the experiment runner stamps ``engine`` provenance (e.g.
+``"vectorized[numpy]"``) and ``engine_rounds`` telemetry onto each
 stored :class:`~repro.experiments.store.CellResult`.
 """
 
@@ -38,8 +46,11 @@ from __future__ import annotations
 
 __all__ = [
     "ENGINE_MODES",
+    "EnginePolicy",
     "EngineScope",
     "current_engine_mode",
+    "current_backend_preference",
+    "current_policy",
     "resolve_engine_mode",
     "note_engine_use",
 ]
@@ -47,25 +58,32 @@ __all__ = [
 #: The valid engine-selection modes, in CLI/`--engine` spelling.
 ENGINE_MODES = ("auto", "interpreted", "vectorized")
 
-# Scopes currently in effect; the innermost decides the mode, every one
-# in scope observes usage.  Per-process state, like the meter stack:
-# forked sweep workers each scope their own cells.
-_ENGINE_STACK: list["EngineScope"] = []
+# Policies currently in effect; the innermost decides the mode and
+# backend, every one in scope observes usage.  Per-process state, like
+# the meter stack: forked sweep workers each scope their own cells.
+_ENGINE_STACK: list["EnginePolicy"] = []
 
 
-class EngineScope:
+class EnginePolicy:
     """Ambient engine choice plus a usage account for everything inside."""
 
-    def __init__(self, mode: str = "auto") -> None:
+    def __init__(self, mode: str = "auto", backend: str | None = None) -> None:
         if mode not in ENGINE_MODES:
             raise ValueError(
                 f"unknown engine mode {mode!r} (expected one of {ENGINE_MODES})"
             )
         self.mode = mode
+        #: Array-backend registry name to pin, or None for the default.
+        self.backend = backend
         self.vectorized_runs = 0
         self.interpreted_runs = 0
+        #: Names of array backends that actually served work in scope.
+        self.backends_used: set[str] = set()
+        #: Rounds simulated per dispatch, keyed ``"engine/kernel/backend"``
+        #: (backend is ``"-"`` for interpreted runs).
+        self.dispatches: dict[str, int] = {}
 
-    def __enter__(self) -> "EngineScope":
+    def __enter__(self) -> "EnginePolicy":
         _ENGINE_STACK.append(self)
         return self
 
@@ -73,28 +91,64 @@ class EngineScope:
         _ENGINE_STACK.remove(self)
         return False
 
+    def note(
+        self,
+        kind: str,
+        *,
+        kernel: str | None = None,
+        backend: str | None = None,
+        rounds: int = 0,
+    ) -> None:
+        """Observe one unit of work served by engine ``kind``."""
+        if kind == "vectorized":
+            self.vectorized_runs += 1
+            if backend:
+                self.backends_used.add(backend)
+        else:
+            self.interpreted_runs += 1
+            backend = None
+        key = f"{kind}/{kernel or 'unknown'}/{backend or '-'}"
+        self.dispatches[key] = self.dispatches.get(key, 0) + rounds
+
     @property
     def engine_used(self) -> str | None:
-        """Which backend(s) served work inside the scope.
+        """Which engine(s) served work inside the policy's scope.
 
-        ``"vectorized"`` / ``"interpreted"`` when exactly one did,
-        ``"mixed"`` when both did (e.g. a transform whose peeling and
-        forest colourings ran on arrays while an adapter baseline ran
-        interpreted), ``None`` when no engine ran at all (analytic
-        cells).
+        ``"vectorized[<backend>]"`` when only the array engine did
+        (e.g. ``"vectorized[numpy]"``), ``"interpreted"`` when only the
+        interpreted engine did, ``"mixed"`` when both did (e.g. a
+        transform whose peeling and forest colourings ran on arrays
+        while an adapter baseline ran interpreted), ``None`` when no
+        engine ran at all (analytic cells).
         """
         if self.vectorized_runs and self.interpreted_runs:
             return "mixed"
         if self.vectorized_runs:
-            return "vectorized"
+            backends = "/".join(sorted(self.backends_used)) or "?"
+            return f"vectorized[{backends}]"
         if self.interpreted_runs:
             return "interpreted"
         return None
 
 
+#: Backwards-compatible alias — ``EngineScope`` predates the policy
+#: object and appears throughout older call sites and docs.
+EngineScope = EnginePolicy
+
+
+def current_policy() -> EnginePolicy | None:
+    """The innermost active policy, or None outside any scope."""
+    return _ENGINE_STACK[-1] if _ENGINE_STACK else None
+
+
 def current_engine_mode() -> str:
-    """The innermost scope's mode, or ``"auto"`` with no scope active."""
+    """The innermost policy's mode, or ``"auto"`` with no policy active."""
     return _ENGINE_STACK[-1].mode if _ENGINE_STACK else "auto"
+
+
+def current_backend_preference() -> str | None:
+    """The innermost policy's pinned backend name, or None."""
+    return _ENGINE_STACK[-1].backend if _ENGINE_STACK else None
 
 
 def resolve_engine_mode(engine: str | None = None) -> str:
@@ -108,12 +162,16 @@ def resolve_engine_mode(engine: str | None = None) -> str:
     return engine
 
 
-def note_engine_use(kind: str) -> None:
-    """Record that one unit of work ran on backend ``kind`` ("vectorized"
-    or "interpreted"); every scope currently in effect observes it."""
-    if kind == "vectorized":
-        for scope in _ENGINE_STACK:
-            scope.vectorized_runs += 1
-    else:
-        for scope in _ENGINE_STACK:
-            scope.interpreted_runs += 1
+def note_engine_use(
+    kind: str,
+    *,
+    kernel: str | None = None,
+    backend: str | None = None,
+    rounds: int = 0,
+) -> None:
+    """Record that one unit of work ran on engine ``kind`` ("vectorized"
+    or "interpreted"), optionally attributing the kernel name, array
+    backend and simulated round count; every policy currently in effect
+    observes it."""
+    for policy in _ENGINE_STACK:
+        policy.note(kind, kernel=kernel, backend=backend, rounds=rounds)

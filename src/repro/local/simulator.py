@@ -204,7 +204,7 @@ def run_synchronous(
         active = still_active
 
     outputs = {node: algorithm.output(states[node], ctx) for node, ctx in contexts.items()}
-    note_engine_use("interpreted")
+    note_engine_use("interpreted", kernel=algorithm.name, rounds=rounds)
     record_phase("simulate", time.perf_counter() - simulate_start)
     return _report_to_meters(RunResult(
         algorithm=algorithm.name,

@@ -4,7 +4,7 @@
 threading a timer object through every generator, algorithm and engine
 signature.  The repo already solves exactly this shape twice with
 module-level ambient stacks (``MessageMeter`` for message counts,
-``EngineScope`` for backend selection); :class:`PhaseTimer` is the same
+``EnginePolicy`` for engine selection); :class:`PhaseTimer` is the same
 idiom for wall-clock phases, thread-local so concurrent service threads
 never cross streams:
 

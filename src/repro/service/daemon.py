@@ -226,6 +226,12 @@ class SweepDaemon:
             "Per-cell phase durations (generate/run/verify/simulate).",
             ("phase",),
         )
+        self._engine_rounds = self.registry.counter(
+            "engine_rounds_total",
+            "Rounds simulated per engine, kernel and array backend "
+            "(interpreted fallbacks show up as engine=interpreted).",
+            ("engine", "kernel", "backend"),
+        )
 
     def _uptime_s(self) -> float:
         if self._started_monotonic is None:
@@ -390,6 +396,13 @@ class SweepDaemon:
             self._cells_completed.inc()
             for phase, seconds in (result.timings or {}).items():
                 self._cell_phase_seconds.labels(phase=phase).observe(seconds)
+            for dispatch, rounds in (result.engine_rounds or {}).items():
+                engine_kind, _, rest = dispatch.partition("/")
+                kernel, _, backend = rest.partition("/")
+                self._engine_rounds.labels(
+                    engine=engine_kind, kernel=kernel or "unknown",
+                    backend=backend or "-",
+                ).inc(rounds)
             if not result.verified:
                 job.unverified += 1
             if len(job.results) < MAX_RESULT_RECORDS_IN_MEMORY:

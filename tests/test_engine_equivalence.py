@@ -10,11 +10,15 @@ The CSR rewrites of the decomposition processes are cross-checked the
 same way, against naive dict-of-set reimplementations of the seed
 peeling loops kept inside this module.
 
-The vectorized NumPy backend (:func:`run_vectorized`) is pinned
+The vectorized array engine (:func:`run_vectorized`) is pinned
 three-ways on every kernel-capable scenario — vectorized vs. fast vs.
 seed engine, including :class:`MessageMeter` accounting — and the array
 peeling variants of the decomposition processes are pinned field-by-field
 against their interpreted counterparts.
+
+The vectorized sections skip (not fail) without numpy: the no-numpy CI
+step runs this module to pin that the interpreted engine and the
+degrade-to-interpreted paths stay green on a numpy-free interpreter.
 """
 
 import networkx as nx
@@ -33,15 +37,24 @@ from repro.generators import (
     random_tree,
 )
 from repro.local import (
-    EngineScope,
+    EnginePolicy,
     EngineUnavailable,
+    KERNELS,
     MessageMeter,
     Network,
+    NodeContext,
+    SynchronousAlgorithm,
+    numpy_available,
+    register_kernel,
     run_synchronous,
     run_synchronous_reference,
     run_vectorized,
     select_engine,
     supports_vectorized,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="requires the numpy array backend"
 )
 
 
@@ -128,6 +141,7 @@ def _vectorized_networks():
     ]
 
 
+@requires_numpy
 @pytest.mark.parametrize(
     "label, network, algorithm, max_rounds",
     _vectorized_networks(),
@@ -146,16 +160,87 @@ def test_vectorized_engine_matches_both(label, network, algorithm, max_rounds):
     assert vectorized_meter.runs == fast_meter.runs
 
 
+class _KernelLess(SynchronousAlgorithm):
+    """A baseline no kernel is registered for (capability tests)."""
+
+    name = "kernel-less"
+
+    def initial_state(self, ctx: NodeContext) -> int:
+        return 0
+
+    def messages(self, state: int, ctx: NodeContext) -> dict:
+        return {}
+
+    def transition(self, state: int, inbox: dict, ctx: NodeContext) -> int:
+        return state + 1
+
+    def has_terminated(self, state: int, ctx: NodeContext) -> bool:
+        return state >= 1
+
+    def output(self, state: int, ctx: NodeContext) -> int:
+        return state
+
+
 def test_every_kernel_capable_baseline_is_covered():
-    """The vectorized backend claims exactly Linial + forest 3-colouring."""
+    """The registry claims Linial, forest 3-colouring, MIS and Δ+1 reduction."""
     assert supports_vectorized(LinialColoring())
     assert supports_vectorized(ForestThreeColoring())
-    assert not supports_vectorized(ColorClassMIS())
-    assert not supports_vectorized(ColorClassReduction())
+    assert supports_vectorized(ColorClassMIS())
+    assert supports_vectorized(ColorClassReduction())
+    assert not supports_vectorized(_KernelLess())
 
 
+def test_supports_vectorized_resolves_subclasses_via_mro():
+    """A subclass of a kernel-capable algorithm inherits its kernel.
+
+    Regression: the registry used to look up ``type(algorithm)``
+    exactly, silently dropping subclasses to the interpreted engine.
+    """
+
+    class TunedLinial(LinialColoring):
+        pass
+
+    algorithm = TunedLinial()
+    assert supports_vectorized(algorithm)
+    spec = KERNELS.lookup(algorithm)
+    assert spec is not None and spec.name == "linial"
+    if numpy_available():
+        tree = random_tree(30, seed=2)
+        vectorized = run_vectorized(Network(tree), algorithm)
+        fast = run_synchronous(Network(tree), algorithm)
+        assert vectorized.outputs == fast.outputs
+        assert vectorized.rounds == fast.rounds
+
+
+def test_register_kernel_refuses_silent_overwrite():
+    class Doomed(_KernelLess):
+        name = "doomed"
+
+    try:
+        @register_kernel(Doomed, name="first")
+        def first_kernel(xp, network, algorithm, max_rounds):
+            raise NotImplementedError
+
+        with pytest.raises(ValueError, match=r"second.*first|first.*second"):
+            @register_kernel(Doomed, name="second")
+            def second_kernel(xp, network, algorithm, max_rounds):
+                raise NotImplementedError
+
+        # Same backend pair still registered to the original kernel…
+        assert KERNELS.lookup(Doomed()).name == "first"
+        # …until the explicit escape hatch swaps it.
+        @register_kernel(Doomed, name="second", replace=True)
+        def second_kernel_replacing(xp, network, algorithm, max_rounds):
+            raise NotImplementedError
+
+        assert KERNELS.lookup(Doomed()).name == "second"
+    finally:
+        KERNELS._by_type.pop(Doomed, None)
+
+
+@requires_numpy
 def test_select_engine_routes_by_mode_and_capability():
-    capable, incapable = LinialColoring(), ColorClassMIS()
+    capable, incapable = LinialColoring(), _KernelLess()
     assert select_engine(capable, "auto") is run_vectorized
     assert select_engine(capable, "vectorized") is run_vectorized
     assert select_engine(capable, "interpreted") is run_synchronous
@@ -164,33 +249,51 @@ def test_select_engine_routes_by_mode_and_capability():
         select_engine(incapable, "vectorized")
 
 
-def test_engine_scope_records_backend_provenance():
+@requires_numpy
+def test_engine_policy_records_backend_provenance():
     tree = random_tree(30, seed=1)
-    with EngineScope("auto") as scope:
+    with EnginePolicy("auto") as policy:
         run_vectorized(Network(tree), LinialColoring())
-    assert scope.engine_used == "vectorized"
-    with EngineScope("interpreted") as scope:
+    assert policy.engine_used == "vectorized[numpy]"
+    assert policy.backends_used == {"numpy"}
+    with EnginePolicy("interpreted") as policy:
         run_synchronous(Network(tree), LinialColoring())
-    assert scope.engine_used == "interpreted"
-    with EngineScope("auto") as scope:
+    assert policy.engine_used == "interpreted"
+    with EnginePolicy("auto") as policy:
         run_vectorized(Network(tree), LinialColoring())
         run_synchronous(Network(tree), LinialColoring())
-    assert scope.engine_used == "mixed"
+    assert policy.engine_used == "mixed"
 
 
-def test_baseline_entry_points_accept_engine_override():
+@requires_numpy
+def test_engine_policy_accounts_dispatch_rounds():
+    tree = random_tree(30, seed=1)
+    with EnginePolicy("auto") as policy:
+        vectorized = run_vectorized(Network(tree), LinialColoring())
+        interpreted = run_synchronous(Network(tree), LinialColoring())
+    assert policy.dispatches == {
+        "vectorized/linial/numpy": vectorized.rounds,
+        "interpreted/linial-coloring/-": interpreted.rounds,
+    }
+
+
+@requires_numpy
+def test_baseline_entry_points_respect_ambient_policy():
     from repro.baselines.forest_coloring import color_forest_three
     from repro.baselines.linial import linial_coloring
 
     tree = random_tree(40, seed=7)
     parents = bfs_forest_parents(tree)
-    for engine in (None, "auto", "interpreted", "vectorized"):
-        assert linial_coloring(tree, engine=engine) == linial_coloring(
-            tree, engine="interpreted"
-        )
-        assert color_forest_three(tree, parents, engine=engine) == color_forest_three(
-            tree, parents, engine="interpreted"
-        )
+    with EnginePolicy("interpreted"):
+        expected_colours = linial_coloring(tree)
+        expected_forest = color_forest_three(tree, parents)
+    for mode in ("auto", "interpreted", "vectorized"):
+        with EnginePolicy(mode):
+            assert linial_coloring(tree) == expected_colours
+            assert color_forest_three(tree, parents) == expected_forest
+    # No policy at all behaves like "auto".
+    assert linial_coloring(tree) == expected_colours
+    assert color_forest_three(tree, parents) == expected_forest
 
 
 # ----------------------------------------------------------------------
@@ -293,11 +396,14 @@ def test_arboricity_layers_match_naive(n, a, seed):
 # ----------------------------------------------------------------------
 # vectorized peeling variants vs. the interpreted CSR loops
 # ----------------------------------------------------------------------
+@requires_numpy
 @pytest.mark.parametrize("n, k, seed", [(60, 3, 1), (150, 5, 2), (300, 8, 3)])
 def test_rake_compress_vectorized_matches_interpreted(n, k, seed):
     tree = random_tree(n, seed=seed)
-    vectorized = rake_and_compress(tree, k=k, engine="vectorized")
-    interpreted = rake_and_compress(tree, k=k, engine="interpreted")
+    with EnginePolicy("vectorized"):
+        vectorized = rake_and_compress(tree, k=k)
+    with EnginePolicy("interpreted"):
+        interpreted = rake_and_compress(tree, k=k)
     assert vectorized.layers == interpreted.layers
     assert vectorized.node_layer == interpreted.node_layer
     assert vectorized.iterations == interpreted.iterations
@@ -309,15 +415,14 @@ def test_rake_compress_vectorized_matches_interpreted(n, k, seed):
     assert vectorized.identifiers == interpreted.identifiers
 
 
+@requires_numpy
 @pytest.mark.parametrize("n, a, seed", [(80, 2, 4), (200, 3, 5)])
 def test_arboricity_vectorized_matches_interpreted(n, a, seed):
     graph = forest_union(n, arboricity=a, seed=seed)
-    vectorized = arboricity_decomposition(
-        graph, arboricity=a, k=5 * a, engine="vectorized"
-    )
-    interpreted = arboricity_decomposition(
-        graph, arboricity=a, k=5 * a, engine="interpreted"
-    )
+    with EnginePolicy("vectorized"):
+        vectorized = arboricity_decomposition(graph, arboricity=a, k=5 * a)
+    with EnginePolicy("interpreted"):
+        interpreted = arboricity_decomposition(graph, arboricity=a, k=5 * a)
     assert vectorized.layers == interpreted.layers
     assert vectorized.node_iteration == interpreted.node_iteration
     assert vectorized.iterations == interpreted.iterations

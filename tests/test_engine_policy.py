@@ -1,0 +1,215 @@
+"""Engine policy and backend registry: what happens when numpy is gone.
+
+The vectorized engine is a preference, not a dependency — a
+numpy-free interpreter must degrade every family-pinned or auto cell
+to the interpreted engine with identical semantic results, and only an
+*explicit* ``engine="vectorized"`` request may raise
+:class:`EngineUnavailable`.  ``array_backend.numpy_available`` is the
+single monkeypatch point, and on Linux the fork start method carries
+the patch into pool and daemon worker processes, so the whole service
+stack can be exercised against a simulated numpy-free interpreter.
+"""
+
+import socket
+
+import pytest
+
+from repro.baselines.linial import LinialColoring, linial_coloring
+from repro.baselines.mis import maximal_independent_set
+from repro.decomposition import rake_and_compress
+from repro.experiments import ResultStore, ScenarioSpec, Suite, SweepRunner
+from repro.experiments.runner import run_cell
+from repro.generators import random_tree
+from repro.local import (
+    EnginePolicy,
+    EngineUnavailable,
+    Network,
+    available_backends,
+    get_backend,
+    numpy_available,
+    run_synchronous,
+    run_vectorized,
+    select_engine,
+    use_vectorized,
+)
+from repro.local import array_backend
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="requires the numpy array backend"
+)
+
+DEGRADE_SUITE = Suite(
+    name="degrade-tiny",
+    description="test suite: families that pin the vectorized engine",
+    scenarios=(
+        ScenarioSpec(
+            name="linial/tree", generator="random-tree",
+            algorithm="baseline-linial", sizes=(24,), seeds=(1,),
+        ),
+        ScenarioSpec(
+            name="mis/tree", generator="random-tree",
+            algorithm="baseline-mis", sizes=(24,), seeds=(1,),
+        ),
+    ),
+)
+
+
+class TestBackendRegistry:
+    @requires_numpy
+    def test_default_backend_is_numpy(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert get_backend("numpy") is backend
+        assert "numpy" in available_backends()
+
+    def test_unknown_backend_names_the_available_ones(self):
+        with pytest.raises(KeyError, match="no-such-backend"):
+            get_backend("no-such-backend")
+
+    def test_register_backend_refuses_silent_overwrite(self):
+        class FirstBackend:
+            name = "collision-test"
+
+        class SecondBackend:
+            name = "collision-test"
+
+        first = FirstBackend()
+        second = SecondBackend()
+        try:
+            array_backend.register_backend(first)
+            with pytest.raises(ValueError, match="FirstBackend.*SecondBackend"):
+                array_backend.register_backend(second)
+            assert get_backend("collision-test") is first
+            # re-registering the same object is idempotent, not a clash
+            array_backend.register_backend(first)
+            array_backend.register_backend(second, replace=True)
+            assert get_backend("collision-test") is second
+        finally:
+            array_backend._BACKENDS.pop("collision-test", None)
+
+
+@pytest.fixture()
+def no_numpy(monkeypatch):
+    """Simulate a numpy-free interpreter for this test (and its forks)."""
+    monkeypatch.setattr(array_backend, "numpy_available", lambda: False)
+
+
+class TestNumpyAbsentDegradation:
+    def test_availability_funnels_through_array_backend(self, no_numpy):
+        assert not numpy_available()
+        assert not use_vectorized("auto")
+
+    def test_select_engine_auto_degrades_to_interpreted(self, no_numpy):
+        algorithm = LinialColoring()
+        assert select_engine(algorithm) is run_synchronous
+        assert select_engine(algorithm, engine="auto") is run_synchronous
+
+    def test_explicit_vectorized_still_raises(self, no_numpy):
+        algorithm = LinialColoring()
+        with pytest.raises(EngineUnavailable, match="requires numpy"):
+            select_engine(algorithm, engine="vectorized")
+        with pytest.raises(EngineUnavailable, match="requires numpy"):
+            run_vectorized(Network(random_tree(8, seed=1)), algorithm)
+
+    def test_baseline_entry_points_still_run(self, no_numpy):
+        tree = random_tree(40, seed=2)
+        colours, _, _ = linial_coloring(tree)
+        assert len(colours) == 40
+        mis = maximal_independent_set(tree)
+        assert mis.independent_set
+        with EnginePolicy("auto") as policy:
+            decomposition = rake_and_compress(tree, k=3)
+        assert decomposition.layers
+        assert policy.engine_used == "interpreted"
+
+    def test_run_cell_degrades_family_pinned_vectorized(self, no_numpy):
+        cell = next(
+            c for c in DEGRADE_SUITE.cells() if c.algorithm == "baseline-mis"
+        )
+        result = run_cell(DEGRADE_SUITE.name, cell)
+        assert result.verified
+        assert result.engine == "interpreted"
+        assert result.engine_rounds
+        assert all(
+            key.startswith("interpreted/") and key.endswith("/-")
+            for key in result.engine_rounds
+        )
+
+    def test_sweep_runner_degrades_whole_suite(self, no_numpy, tmp_path):
+        store = ResultStore(tmp_path)
+        report = SweepRunner(DEGRADE_SUITE, store, jobs=1).run()
+        assert report.ok
+        results = store.results()
+        assert len(results) == len(DEGRADE_SUITE.cells())
+        assert all(result.engine == "interpreted" for result in results)
+
+    def test_worker_pool_degrades_forked_workers(self, no_numpy, tmp_path):
+        from repro.service import WorkerPool
+
+        store = ResultStore(tmp_path)
+        with WorkerPool(workers=2, batch_size=2) as pool:
+            report = pool.run_suite(DEGRADE_SUITE, store)
+        assert report.ok
+        assert all(result.engine == "interpreted" for result in store.results())
+
+    @pytest.mark.skipif(
+        not hasattr(socket, "AF_UNIX"), reason="requires Unix-domain sockets"
+    )
+    def test_daemon_submit_degrades_and_ticks_interpreted_counters(
+        self, no_numpy, tmp_path
+    ):
+        from repro.obs import parse_exposition
+        from repro.obs.metrics import samples_named
+        from repro.service import ServiceClient, SweepDaemon
+
+        daemon = SweepDaemon(
+            socket_path=tmp_path / "svc.sock", workers=2, batch_size=4
+        )
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.socket_path)
+            job = client.submit(
+                "paper-claims", smoke=True, out=str(tmp_path / "store")
+            )
+            status = client.wait(job, timeout=120)
+            assert status["state"] == "done"
+            assert not status["failures"]
+            engines = {
+                record.get("engine") for record in client.results(job)
+            }
+            assert engines <= {"interpreted", None}
+            samples = samples_named(
+                parse_exposition(client.metrics()), "engine_rounds_total"
+            )
+            assert samples
+            assert all(
+                sample.label("engine") == "interpreted"
+                and sample.label("backend") == "-"
+                for sample in samples
+            )
+        finally:
+            daemon.close()
+
+
+class TestEngineRoundsProvenance:
+    @requires_numpy
+    def test_run_cell_records_backend_and_kernel_rounds(self):
+        cell = next(
+            c for c in DEGRADE_SUITE.cells() if c.algorithm == "baseline-linial"
+        )
+        result = run_cell(DEGRADE_SUITE.name, cell)
+        assert result.engine == "vectorized[numpy]"
+        assert result.engine_rounds
+        assert any(
+            key.startswith("vectorized/linial/numpy")
+            for key in result.engine_rounds
+        )
+
+    @requires_numpy
+    def test_engine_rounds_survive_the_store_round_trip(self, tmp_path):
+        cell = DEGRADE_SUITE.cells()[0]
+        result = run_cell(DEGRADE_SUITE.name, cell)
+        store = ResultStore(tmp_path)
+        store.append(result)
+        loaded = ResultStore(tmp_path).results()
+        assert [r.engine_rounds for r in loaded] == [result.engine_rounds]

@@ -186,11 +186,21 @@ class TestEngineProvenance:
     )
 
     def test_auto_mode_records_backend_per_family(self, tmp_path):
+        from repro.local import numpy_available
+
         store = ResultStore(tmp_path)
         report = SweepRunner(self.ENGINE_SUITE, store, jobs=1).run()
         assert report.ok
         by_scenario = {result.scenario: result for result in store.results()}
-        assert by_scenario["linial/tree"].engine == "vectorized"
+        linial = by_scenario["linial/tree"]
+        if numpy_available():
+            assert linial.engine == "vectorized[numpy]"
+            assert linial.engine_rounds
+            assert any(
+                key.startswith("vectorized/linial/") for key in linial.engine_rounds
+            )
+        else:
+            assert linial.engine == "interpreted"
         assert by_scenario["mis/tree"].engine is not None
 
     def test_interpreted_override_forces_interpreted_everywhere(self, tmp_path):
@@ -222,9 +232,12 @@ class TestEngineProvenance:
 
     def test_effective_engine_mode_precedence(self):
         from repro.experiments.runner import _effective_engine_mode
+        from repro.local import numpy_available
 
         assert _effective_engine_mode("auto", None) == "auto"
-        assert _effective_engine_mode("vectorized", None) == "vectorized"
+        # a family pin is a preference: it degrades to auto without numpy
+        expected_pin = "vectorized" if numpy_available() else "auto"
+        assert _effective_engine_mode("vectorized", None) == expected_pin
         assert _effective_engine_mode("vectorized", "interpreted") == "interpreted"
         assert _effective_engine_mode("auto", "vectorized") == "vectorized"
 

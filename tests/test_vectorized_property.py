@@ -12,8 +12,11 @@ pick the backend per algorithm without changing any stored result.
 
 import pytest
 
+from repro.baselines.coloring import deg_plus_one_coloring
+from repro.baselines.color_reduction import ColorClassReduction
 from repro.baselines.forest_coloring import ForestThreeColoring
 from repro.baselines.linial import LinialColoring
+from repro.baselines.mis import ColorClassMIS
 from repro.decomposition import arboricity_decomposition, rake_and_compress
 from repro.generators import (
     bfs_forest_parents,
@@ -22,6 +25,7 @@ from repro.generators import (
     random_tree,
 )
 from repro.local import (
+    EnginePolicy,
     MessageMeter,
     Network,
     numpy_available,
@@ -41,14 +45,26 @@ TREE_CASES = [(50, 1), (50, 2), (200, 3), (200, 4), (800, 5), (2500, 6)]
 GRAPH_CASES = [(60, 5, 1), (200, 6, 2), (700, 4, 3)]
 
 
-def _three_way(network, algorithm_factory):
+def _three_way(network, algorithm_factory, max_rounds=None):
     """Run all three engines; return their (result, messages) pairs."""
     outcomes = []
     for runner in (run_vectorized, run_synchronous, run_synchronous_reference):
         with MessageMeter() as meter:
-            result = runner(network, algorithm_factory())
+            result = runner(network, algorithm_factory(), max_rounds=max_rounds)
         outcomes.append((result, meter.messages))
     return outcomes
+
+
+def _colour_class_network(graph):
+    """Network with a (deg+1)-colouring as node inputs, for the sweeps."""
+    coloring = deg_plus_one_coloring(graph)
+    num_classes = max(coloring.colours.values(), default=1)
+    network = Network(
+        graph,
+        node_inputs=dict(coloring.colours),
+        shared={"num_classes": num_classes},
+    )
+    return network, num_classes
 
 
 def _assert_identical(outcomes):
@@ -80,11 +96,60 @@ def test_forest_three_coloring_three_way_on_random_trees(n, seed):
     assert len(set(outcomes[0][0].outputs.values())) <= 3
 
 
+@pytest.mark.parametrize("n, seed", TREE_CASES)
+def test_mis_three_way_on_random_trees(n, seed):
+    graph = random_tree(n, seed=seed)
+    network, num_classes = _colour_class_network(graph)
+    outcomes = _three_way(network, ColorClassMIS, max_rounds=num_classes + 2)
+    _assert_identical(outcomes)
+    chosen = {node for node, joined in outcomes[0][0].outputs.items() if joined}
+    assert all(not (u in chosen and v in chosen) for u, v in graph.edges)
+    assert all(
+        node in chosen or any(nb in chosen for nb in graph.adj[node])
+        for node in graph.nodes
+    )
+
+
+@pytest.mark.parametrize("n, max_degree, seed", GRAPH_CASES)
+def test_mis_three_way_on_bounded_degree_graphs(n, max_degree, seed):
+    graph = random_graph_with_max_degree(n, max_degree, seed=seed)
+    network, num_classes = _colour_class_network(graph)
+    outcomes = _three_way(network, ColorClassMIS, max_rounds=num_classes + 2)
+    _assert_identical(outcomes)
+
+
+@pytest.mark.parametrize("n, seed", TREE_CASES)
+def test_colour_reduction_three_way_on_random_trees(n, seed):
+    graph = random_tree(n, seed=seed)
+    network, num_classes = _colour_class_network(graph)
+    outcomes = _three_way(
+        network, ColorClassReduction, max_rounds=num_classes + 1
+    )
+    _assert_identical(outcomes)
+    colours = outcomes[0][0].outputs
+    assert all(colours[u] != colours[v] for u, v in graph.edges)
+    assert all(
+        colours[node] <= graph.degree(node) + 1 for node in graph.nodes
+    )
+
+
+@pytest.mark.parametrize("n, max_degree, seed", GRAPH_CASES)
+def test_colour_reduction_three_way_on_bounded_degree_graphs(n, max_degree, seed):
+    graph = random_graph_with_max_degree(n, max_degree, seed=seed)
+    network, num_classes = _colour_class_network(graph)
+    outcomes = _three_way(
+        network, ColorClassReduction, max_rounds=num_classes + 1
+    )
+    _assert_identical(outcomes)
+
+
 @pytest.mark.parametrize("n, k, seed", [(100, 3, 1), (400, 6, 2), (1500, 8, 3)])
 def test_rake_compress_peel_property(n, k, seed):
     tree = random_tree(n, seed=seed)
-    vectorized = rake_and_compress(tree, k=k, engine="vectorized")
-    interpreted = rake_and_compress(tree, k=k, engine="interpreted")
+    with EnginePolicy("vectorized"):
+        vectorized = rake_and_compress(tree, k=k)
+    with EnginePolicy("interpreted"):
+        interpreted = rake_and_compress(tree, k=k)
     assert vectorized.layers == interpreted.layers
     assert vectorized.node_layer == interpreted.node_layer
     assert vectorized.rounds == interpreted.rounds
@@ -93,12 +158,10 @@ def test_rake_compress_peel_property(n, k, seed):
 @pytest.mark.parametrize("n, a, seed", [(150, 2, 1), (400, 3, 2), (900, 4, 3)])
 def test_arboricity_peel_property(n, a, seed):
     graph = forest_union(n, arboricity=a, seed=seed)
-    vectorized = arboricity_decomposition(
-        graph, arboricity=a, k=5 * a, engine="vectorized"
-    )
-    interpreted = arboricity_decomposition(
-        graph, arboricity=a, k=5 * a, engine="interpreted"
-    )
+    with EnginePolicy("vectorized"):
+        vectorized = arboricity_decomposition(graph, arboricity=a, k=5 * a)
+    with EnginePolicy("interpreted"):
+        interpreted = arboricity_decomposition(graph, arboricity=a, k=5 * a)
     assert vectorized.layers == interpreted.layers
     assert vectorized.degree_snapshots == interpreted.degree_snapshots
     assert vectorized.forests == interpreted.forests
