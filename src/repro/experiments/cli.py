@@ -71,6 +71,11 @@ from repro.obs.timeseries import (
 from repro.service.client import CollectorSink, ServiceClient, ServiceError
 from repro.service.collector import ResultCollector
 from repro.service.daemon import DEFAULT_SOCKET, SweepDaemon
+from repro.service.leases import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_LEASE_BATCH,
+    FleetWorker,
+)
 from repro.service.pool import DEFAULT_BATCH_SIZE
 from repro.service.protocol import AUTH_TOKEN_ENV
 
@@ -130,6 +135,13 @@ def _nonnegative_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = _nonnegative_float(text)
+    if value == 0:
+        raise argparse.ArgumentTypeError("expected a positive number, got 0")
     return value
 
 
@@ -194,6 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
             "  server-side `report` verb: the rendered bundle for a collector "
             "store or a\n  finished daemon job, byte-identical to a local "
             "`report --json` on that store.\n"
+            "\n"
+            "elastic sweep fleet:\n"
+            "  `run <suite> --fleet host:port` replaces the static shard "
+            "split with a lease\n  loop: each worker registers with the "
+            "collector, offers the suite's fingerprint\n  universe and pulls "
+            "batches of leased cells (`--lease-batch`), streaming every\n  "
+            "result back over the same `push` path (a push completes the "
+            "cell's lease).\n  A background heartbeat renews a worker's "
+            "leases; a worker that dies stops\n  heartbeating, its leases "
+            "expire after the TTL (`collect --lease-ttl`, default\n  2x "
+            "`--heartbeat-interval`) and the cells are reassigned to the "
+            "survivors — kill\n  a worker mid-sweep and the suite still "
+            "finishes with no lost cells.  Workers\n  added mid-run (or "
+            "restarted after a collector restart, which answers unknown\n  "
+            "ids with `known: false`) simply register and start pulling.  "
+            "`fleet_status`\n  reports workers alive/lost, active leases and "
+            "lease fates; the collector's\n  metrics gain `fleet_workers`, "
+            "`fleet_leases_total{fate}` and a lease-age\n  histogram, plus a "
+            "`lease-stuck` SLO (oldest active lease vs 3x TTL).\n"
             "\n"
             "observability:\n"
             "  Both services export an in-process metrics registry over a "
@@ -276,6 +307,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--collector", default=None, metavar="ENDPOINT",
         help="also stream each completed cell record to a result collector "
         "(host:port or a Unix socket path); the local store is still written",
+    )
+    run.add_argument(
+        "--fleet", default=None, metavar="ENDPOINT",
+        help="elastic fleet mode: pull heartbeat-renewed lease batches from "
+        "a collector (host:port or Unix socket path) instead of computing a "
+        "static shard, and stream every result back; incompatible with "
+        "--shard and --collector",
+    )
+    run.add_argument(
+        "--lease-batch", type=_positive_int, default=DEFAULT_LEASE_BATCH,
+        metavar="N",
+        help="with --fleet: cells requested per lease grant "
+        f"(default: {DEFAULT_LEASE_BATCH})",
+    )
+    run.add_argument(
+        "--worker-name", default=None, metavar="NAME",
+        help="with --fleet: the name this worker registers under "
+        "(default: hostname-pid)",
     )
     run.add_argument(
         "--token", default=None,
@@ -368,6 +417,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--history-spill", default=None, metavar="FILE",
         help="append each history snapshot to FILE as JSONL (readable by "
         "`dashboard --history` and `scripts/slo_burn_check.py --history`)",
+    )
+    collect.add_argument(
+        "--heartbeat-interval", type=_positive_float,
+        default=DEFAULT_HEARTBEAT_INTERVAL_S, metavar="SECONDS",
+        help="fleet cadence handed to `run --fleet` workers at registration "
+        f"(default: {DEFAULT_HEARTBEAT_INTERVAL_S:g})",
+    )
+    collect.add_argument(
+        "--lease-ttl", type=_positive_float, default=None, metavar="SECONDS",
+        help="seconds a lease survives without a heartbeat before its cells "
+        "are reassigned (default: 2x the heartbeat interval)",
     )
 
     submit = sub.add_parser(
@@ -542,6 +602,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
+    if args.fleet is not None and (
+        args.shard is not None or args.collector is not None
+    ):
+        print(
+            "--fleet replaces static sharding and streaming: drop --shard "
+            "and --collector (the fleet endpoint receives every result)",
+            file=sys.stderr,
+        )
+        return 2
     store = ResultStore(args.out)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     sink = None
@@ -571,6 +640,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"seed={result.seed} rounds={rounds}{charged} "
             f"wall={result.wall_clock_s:.3f}s {status}"
         )
+
+    if args.fleet is not None:
+        worker = FleetWorker(
+            suite, store, args.fleet, token=args.token, jobs=jobs,
+            smoke=args.smoke, sizes=args.sizes, seeds=args.seeds,
+            engine=args.engine, lease_batch=args.lease_batch,
+            name=args.worker_name,
+            progress=None if args.quiet else progress,
+        )
+        print(
+            f"suite {suite.name!r} [fleet {args.fleet} as {worker.name}]: "
+            f"{suite.description}"
+        )
+        try:
+            report = worker.run()
+        except (ServiceError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"cells: {report.total_cells} total, {report.skipped} ran "
+            f"elsewhere or were already stored, {report.executed} executed, "
+            f"{len(report.failures)} failed, {report.unverified} unverified  "
+            f"({report.wall_clock_s:.1f}s, jobs={jobs})"
+        )
+        print(f"store: {store.path}")
+        print(f"pushed {worker.pushed} record(s) to fleet {args.fleet}")
+        for failure in report.failures:
+            print(
+                f"FAILED cell {failure.cell.scenario} n={failure.cell.n} "
+                f"seed={failure.cell.seed}: {failure.error} "
+                f"(released back to the fleet)",
+                file=sys.stderr,
+            )
+        return 0 if report.ok else 1
 
     shard_note = f" [shard {args.shard}]" if args.shard is not None else ""
     print(f"suite {suite.name!r}{shard_note}: {suite.description}")
@@ -746,6 +849,8 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             out=args.out, listen=args.listen, socket_path=args.socket,
             token=args.token, scrape_interval_s=args.scrape_interval,
             history_spill=args.history_spill,
+            heartbeat_interval_s=args.heartbeat_interval,
+            lease_ttl_s=args.lease_ttl,
         )
         collector.start()
     except (ValueError, RuntimeError, OSError) as error:
@@ -761,7 +866,12 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     print(f"store: {collector.store.path}")
     print(
         "verbs: push / status / report / metrics / metrics_history / "
-        "shutdown  (ctrl-c also stops)"
+        "register / heartbeat / lease / fleet_status / shutdown  "
+        "(ctrl-c also stops)"
+    )
+    print(
+        f"fleet: heartbeat every {collector.leases.heartbeat_interval_s:g}s, "
+        f"lease TTL {collector.leases.lease_ttl_s:g}s"
     )
     try:
         collector.serve_forever()

@@ -29,7 +29,14 @@ from repro.experiments.spec import ALGORITHMS, GENERATORS, Cell, Suite
 from repro.experiments.store import CellResult, ResultStore
 from repro.obs import PhaseTimer, span
 
-__all__ = ["run_cell", "CellFailure", "SweepReport", "SweepRunner", "default_jobs"]
+__all__ = [
+    "run_cell",
+    "make_recorder",
+    "CellFailure",
+    "SweepReport",
+    "SweepRunner",
+    "default_jobs",
+]
 
 
 def default_jobs() -> int:
@@ -137,6 +144,41 @@ class SweepReport:
         return not self.failures and self.unverified == 0 and self.sink_error is None
 
 
+def make_recorder(
+    store: ResultStore,
+    sinks: Sequence[Callable[[CellResult], None]],
+    report: SweepReport,
+    progress: Callable[[CellResult], None] | None = None,
+) -> Callable[[CellResult], None]:
+    """The per-result fan-out shared by every sweep execution path.
+
+    Appends the result to the store, ticks the report's counters, feeds
+    the sinks and then the progress hook.  A sink (e.g. the
+    ``--collector`` stream) that fails must not fail the sweep: the
+    result is already durable in the local store, so the first error is
+    recorded once in ``report.sink_error`` and the sinks disabled —
+    resume/merge recovers the lost stream.
+    """
+    live_sinks = list(sinks)
+
+    def record(result: CellResult) -> None:
+        store.append(result)
+        report.executed += 1
+        if not result.verified:
+            report.unverified += 1
+        if live_sinks:
+            try:
+                for sink in live_sinks:
+                    sink(result)
+            except Exception as error:  # noqa: BLE001 - surfaced in report
+                report.sink_error = repr(error)
+                live_sinks.clear()
+        if progress is not None:
+            progress(result)
+
+    return record
+
+
 class SweepRunner:
     """Run a suite's pending cells and append results to a store."""
 
@@ -189,26 +231,7 @@ class SweepRunner:
             unverified=0,
         )
 
-        sinks = list(self.sinks)
-
-        def record(result: CellResult) -> None:
-            self.store.append(result)
-            report.executed += 1
-            if not result.verified:
-                report.unverified += 1
-            if sinks:
-                # A sink (e.g. the --collector stream) that fails must not
-                # fail the sweep: the result is already durable in the
-                # local store.  The first error is reported once and the
-                # sink disabled — resume/merge recovers the lost stream.
-                try:
-                    for sink in sinks:
-                        sink(result)
-                except Exception as error:  # noqa: BLE001 - surfaced in report
-                    report.sink_error = repr(error)
-                    sinks.clear()
-            if progress is not None:
-                progress(result)
+        record = make_recorder(self.store, self.sinks, report, progress)
 
         if self.jobs == 1 or len(pending) <= 1:
             for cell in pending:

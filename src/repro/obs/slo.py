@@ -311,6 +311,25 @@ def _slo_ingest_stall(window: Window) -> tuple[bool, str]:
     return True, f"+{_trim(increase)} records{rate_note} over {window.describe()}"
 
 
+def _slo_lease_stuck(window: Window) -> tuple[bool, str]:
+    """No fleet lease should outlive 3x the lease TTL: heartbeats renew
+    live workers' leases and expiry reassigns dead workers' leases, so a
+    lease that old means reassignment itself has wedged."""
+    name = "fleet_oldest_lease_age_seconds"
+    if not window.has_series(name):
+        return True, f"no data ({name} absent)"
+    ttl = window.latest_total("fleet_lease_ttl_seconds")
+    if ttl <= 0:
+        return True, "no data (fleet_lease_ttl_seconds absent or zero)"
+    oldest = window.latest_total(name)
+    budget = 3.0 * ttl
+    ok = oldest <= budget
+    return ok, (
+        f"oldest active lease {oldest:.2f}s "
+        f"(budget {_trim(budget)} = 3x {_trim(ttl)}s TTL)"
+    )
+
+
 #: The repo's objectives, documented in ROADMAP.md.  Budgets are tuned
 #: for the CI smoke jobs: a healthy run serves every verb in well under
 #: five seconds at p99 and drops, mangles and rejects nothing; a
@@ -350,6 +369,11 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
         name="ingest-not-stalled",
         description="a collector that has ingested keeps ingesting in-window",
         check=_slo_ingest_stall,
+    ),
+    SLO(
+        name="lease-stuck",
+        description="no fleet lease stays active beyond 3x the lease TTL",
+        check=_slo_lease_stuck,
     ),
 )
 

@@ -1,7 +1,8 @@
 """The distributed sweep service.
 
-Five layers turn the single-machine experiment runner into a
-multi-worker, multi-machine, resumable, mergeable sweep platform:
+Six layers turn the single-machine experiment runner into a
+multi-worker, multi-machine, resumable, mergeable, elastic sweep
+platform:
 
 * :mod:`repro.service.shard` — deterministic ``i/k`` partitioning of a
   suite's cells by fingerprint (implemented in
@@ -27,7 +28,16 @@ multi-worker, multi-machine, resumable, mergeable sweep platform:
   the cross-machine replacement for after-the-fact file merging, which
   remains available via :func:`repro.experiments.store.merge_result_files`
   and shares its duplicate policy
-  (:func:`repro.experiments.store.resolve_duplicate`).
+  (:func:`repro.experiments.store.resolve_duplicate`);
+* :mod:`repro.service.leases` — the elastic control plane:
+  :class:`LeaseTable` tracks registered workers, heartbeats and
+  per-fingerprint leases inside the collector (``register`` /
+  ``heartbeat`` / ``lease`` / ``fleet_status`` verbs; a ``push``
+  completes the cell's lease), and :class:`FleetWorker` is the pull
+  side behind ``run <suite> --fleet host:port`` — workers lease batches
+  instead of computing a static shard, dead workers' leases expire and
+  are reassigned to survivors, and replacement workers resume from the
+  collector's completed fingerprints.
 """
 
 from repro.service.client import (
@@ -35,9 +45,17 @@ from repro.service.client import (
     ServiceClient,
     ServiceConnection,
     ServiceError,
+    ServiceTransportError,
 )
 from repro.service.collector import ResultCollector
 from repro.service.daemon import DEFAULT_SOCKET, Job, SweepDaemon
+from repro.service.leases import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_LEASE_BATCH,
+    LEASE_FATES,
+    FleetWorker,
+    LeaseTable,
+)
 from repro.service.pool import (
     DEFAULT_BATCH_SIZE,
     CellOutcome,
@@ -59,10 +77,16 @@ __all__ = [
     "ServiceClient",
     "ServiceConnection",
     "ServiceError",
+    "ServiceTransportError",
     "ResultCollector",
     "DEFAULT_SOCKET",
     "Job",
     "SweepDaemon",
+    "DEFAULT_HEARTBEAT_INTERVAL_S",
+    "DEFAULT_LEASE_BATCH",
+    "LEASE_FATES",
+    "FleetWorker",
+    "LeaseTable",
     "DEFAULT_BATCH_SIZE",
     "CellOutcome",
     "WorkerPool",

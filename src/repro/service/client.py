@@ -31,6 +31,7 @@ from repro.service.protocol import (
     Endpoint,
     ProtocolError,
     ServiceError,
+    ServiceTransportError,
     connect_endpoint,
     parse_endpoint,
     recv_message,
@@ -38,7 +39,13 @@ from repro.service.protocol import (
     send_message,
 )
 
-__all__ = ["ServiceError", "ServiceClient", "ServiceConnection", "CollectorSink"]
+__all__ = [
+    "ServiceError",
+    "ServiceTransportError",
+    "ServiceClient",
+    "ServiceConnection",
+    "CollectorSink",
+]
 
 #: Job states in which a job will make no further progress.
 TERMINAL_STATES = ("done", "failed")
@@ -68,7 +75,7 @@ class ServiceConnection:
             send_message(self._sock, self._client._with_token(payload))
             response = recv_message(self._reader)
         except (OSError, ProtocolError) as error:  # incl. socket.timeout
-            raise ServiceError(
+            raise ServiceTransportError(
                 f"request to the sweep service at {self._client.endpoint} "
                 f"failed mid-flight ({error})"
             ) from None
@@ -127,11 +134,11 @@ class ServiceClient:
             except _RETRYABLE_CONNECT_ERRORS as error:
                 now = time.monotonic()
                 if now >= deadline:
-                    raise ServiceError(self._unreachable(error)) from None
+                    raise ServiceTransportError(self._unreachable(error)) from None
                 time.sleep(min(backoff, deadline - now))
                 backoff *= 2
             except OSError as error:
-                raise ServiceError(self._unreachable(error)) from None
+                raise ServiceTransportError(self._unreachable(error)) from None
 
     def _unreachable(self, error: OSError) -> str:
         hint = (
@@ -145,8 +152,12 @@ class ServiceClient:
         )
 
     def _check_response(self, response: dict[str, Any] | None) -> dict[str, Any]:
+        # No response at all is a transport symptom (half-closed peer);
+        # an explicit ok:false is an application answer over a healthy
+        # connection — the two must raise distinguishably or streaming
+        # callers tear down good connections to retry doomed requests.
         if response is None:
-            raise ServiceError(
+            raise ServiceTransportError(
                 "the service closed the connection without answering"
             )
         if not response.get("ok"):
@@ -166,7 +177,7 @@ class ServiceClient:
                 with sock.makefile("rb") as reader:
                     response = recv_message(reader)
             except (OSError, ProtocolError) as error:  # incl. socket.timeout
-                raise ServiceError(
+                raise ServiceTransportError(
                     f"request to the sweep service at {self.endpoint} "
                     f"failed mid-flight ({error})"
                 ) from None
@@ -265,6 +276,49 @@ class ServiceClient:
             payload["max_points"] = max_points
         return self.request(payload)
 
+    # -- elastic-fleet verbs (collector as control plane) ---------------
+    def register(self, worker: str) -> dict[str, Any]:
+        """Register a fleet worker; returns ``worker_id`` plus the
+        fleet cadence (``heartbeat_interval_s``, ``lease_ttl_s``)."""
+        return self.request({"op": "register", "worker": worker})
+
+    def heartbeat(self, worker_id: str) -> dict[str, Any]:
+        """Renew the worker's liveness and all its leases.
+
+        ``known`` is false when the collector does not recognise the id
+        (it restarted) — the worker should re-register, not crash.
+        """
+        return self.request({"op": "heartbeat", "worker_id": worker_id})
+
+    def lease(
+        self,
+        worker_id: str,
+        fingerprints: list[str],
+        limit: int | None = None,
+        release: list[str] | None = None,
+    ) -> dict[str, Any]:
+        """Ask for a batch of pending cells from the offered universe.
+
+        Returns ``granted`` (fingerprints now leased to this worker),
+        ``pending`` / ``outstanding`` counts and ``done`` — true only
+        when every offered fingerprint is completed fleet-wide.
+        ``release`` hands back fingerprints this worker gave up on.
+        """
+        payload: dict[str, Any] = {
+            "op": "lease",
+            "worker_id": worker_id,
+            "fingerprints": list(fingerprints),
+        }
+        if limit is not None:
+            payload["limit"] = limit
+        if release:
+            payload["release"] = list(release)
+        return self.request(payload)
+
+    def fleet_status(self) -> dict[str, Any]:
+        """Workers, active leases and lease-lifecycle counters."""
+        return self.request({"op": "fleet_status"})
+
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})
 
@@ -308,9 +362,13 @@ class CollectorSink:
         payload = {"op": "push", "records": [record]}
         try:
             self._ensure_connection().request(payload)
-        except ServiceError:
+        except ServiceTransportError:
             # One reconnect: the collector may have restarted between
             # cells.  A second failure is a real outage and propagates.
+            # Only *transport* failures retry — a server error response
+            # (a rejected record) arrived over a healthy connection, so
+            # tearing it down to re-push the same doomed record would
+            # just double the rejection; it propagates immediately.
             self.close()
             self._ensure_connection().request(payload)
         self.pushed += 1

@@ -46,6 +46,15 @@ Verbs
     ``scrape_interval_s``), optionally restricted by ``window_s`` and
     capped by ``max_points`` — what windowed SLO burn checks and
     dashboard sparklines consume.
+``register`` / ``heartbeat`` / ``lease`` / ``fleet_status``
+    The elastic-fleet control plane (:mod:`repro.service.leases`):
+    workers started with ``run <suite> --fleet host:port`` register,
+    pull batches of pending cells under heartbeat-renewed leases, and
+    stream results back through ``push`` — which doubles as lease
+    completion, so a record from *any* stream retires its lease.  A
+    worker that stops heartbeating has its leases expired and handed to
+    whoever asks next; ``fleet_status`` shows workers, active leases
+    and the lifecycle counters.
 ``shutdown``
     Stop serving (the store is already durable; nothing to flush).
 """
@@ -68,6 +77,11 @@ from repro.experiments.store import (
     CellResult,
     ResultStore,
     resolve_duplicate,
+)
+from repro.service.leases import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_LEASE_BATCH,
+    LeaseTable,
 )
 from repro.service.protocol import (
     LineServer,
@@ -94,6 +108,8 @@ class ResultCollector:
         scrape_interval_s: float = DEFAULT_SCRAPE_INTERVAL_S,
         history_capacity: int = DEFAULT_HISTORY_CAPACITY,
         history_spill: str | Path | None = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        lease_ttl_s: float | None = None,
     ) -> None:
         self.store = ResultStore(out)
         self.listen = listen
@@ -108,6 +124,14 @@ class ResultCollector:
         self.dropped = 0
         self.duplicates = 0
         self.conflicts = 0
+        #: Store records skipped at startup for lacking a fingerprint —
+        #: surfaced by status/metrics instead of refusing to serve.
+        self.malformed_store_records = 0
+        self.leases = LeaseTable(
+            heartbeat_interval_s=heartbeat_interval_s,
+            lease_ttl_s=lease_ttl_s,
+            on_event=self._on_lease_event,
+        )
         self._started_monotonic: float | None = None
         self._last_push_monotonic: float | None = None
         self.registry = MetricsRegistry()
@@ -145,6 +169,48 @@ class ResultCollector:
             "Per-stream lag: seconds since the last push batch arrived "
             "(0 before the first push).",
         ).set_function(self._seconds_since_last_push)
+        self.registry.gauge(
+            "collector_store_malformed_records",
+            "Store records skipped at startup for lacking a fingerprint.",
+        ).set_function(lambda: float(self.malformed_store_records))
+        # Fleet scheduling: lease lifecycle counters fed by the lease
+        # table's event callback, liveness gauges read straight off it.
+        self._lease_fates = self.registry.counter(
+            "fleet_leases_total",
+            "Lease lifecycle events by fate (granted/renewed/expired/"
+            "released/reassigned/completed).",
+            ("fate",),
+        )
+        self._lease_age = self.registry.histogram(
+            "fleet_lease_age_seconds",
+            "Lease age when it completed, expired or was released.",
+            buckets=(0.5, 1.0, 2.0, 5.0, 15.0, 60.0, 300.0, 1800.0),
+        )
+        workers_gauge = self.registry.gauge(
+            "fleet_workers",
+            "Registered fleet workers, by liveness state.",
+            ("state",),
+        )
+        for state in ("alive", "lost"):
+            workers_gauge.labels(state=state).set_function(
+                lambda state=state: float(
+                    self.leases.worker_counts().get(state, 0)
+                )
+            )
+        self.registry.gauge(
+            "fleet_oldest_lease_age_seconds",
+            "Age of the oldest active lease (0 when none are held).",
+        ).set_function(self.leases.oldest_lease_age_s)
+        self.registry.gauge(
+            "fleet_lease_ttl_seconds",
+            "The TTL a lease must be renewed within (the lease-stuck "
+            "SLO's budget unit).",
+        ).set_function(lambda: self.leases.lease_ttl_s)
+
+    def _on_lease_event(self, fate: str, age_s: float | None) -> None:
+        self._lease_fates.labels(fate=fate).inc()
+        if age_s is not None:
+            self._lease_age.observe(age_s)
 
     def _uptime_s(self) -> float:
         if self._started_monotonic is None:
@@ -185,13 +251,24 @@ class ResultCollector:
             )
         for record in self.store.records():
             fingerprint = record.get("fingerprint")
-            if fingerprint is None:
-                raise ValueError(
-                    f"{self.store.path}: record without a fingerprint field"
-                )
+            if not isinstance(fingerprint, str) or not fingerprint:
+                # One corrupt line must not brick a restart (and with it
+                # collector-aware resume): skip it, count it, surface the
+                # count via status and the malformed-records gauge.  The
+                # line stays in the JSONL file untouched for forensics.
+                self.malformed_store_records += 1
+                continue
             previous = self._latest.get(fingerprint)
             if previous is None or resolve_duplicate(previous, record).keep_newcomer:
                 self._latest[fingerprint] = record
+        # Seed the fleet scheduler with what is already done: verified
+        # records only, mirroring the store's completed_fingerprints()
+        # resume policy, so an unverified record is re-leased and re-run.
+        self.leases.seed_completed(
+            fingerprint
+            for fingerprint, record in self._latest.items()
+            if record.get("verified")
+        )
         server = LineServer(
             self._dispatch,
             token=self.token,
@@ -199,7 +276,8 @@ class ResultCollector:
             close_after=lambda request, _: request.get("op") == "shutdown",
             registry=self.registry,
             verbs=("ping", "push", "status", "report", "metrics",
-                   "metrics_history", "shutdown"),
+                   "metrics_history", "register", "heartbeat", "lease",
+                   "fleet_status", "shutdown"),
         )
         try:
             if self.socket_path is not None:
@@ -275,18 +353,24 @@ class ResultCollector:
                 if not resolution.keep_newcomer:
                     self.dropped += 1
                     self._fate_metric.labels(fate="dropped").inc()
-                    return "dropped"
-                fate = "conflict" if resolution.conflict else "accepted"
+                    fate = "dropped"
+                else:
+                    fate = "conflict" if resolution.conflict else "accepted"
             else:
                 fate = "accepted"
-            self._latest[fingerprint] = result.to_record()
-            self.store.append(result)
-            self.accepted += 1
-            self._ingested_metric.inc()
-            self._fate_metric.labels(fate=fate).inc()
-            if fate == "conflict":
-                self.conflicts += 1
-            return fate
+            if fate != "dropped":
+                self._latest[fingerprint] = result.to_record()
+                self.store.append(result)
+                self.accepted += 1
+                self._ingested_metric.inc()
+                self._fate_metric.labels(fate=fate).inc()
+                if fate == "conflict":
+                    self.conflicts += 1
+        # Push doubles as lease completion — outside the ingest lock
+        # (the lease table has its own), and for *every* fate: even a
+        # dropped duplicate proves the cell ran somewhere.
+        self.leases.complete(fingerprint)
+        return fate
 
     # ------------------------------------------------------------------
     # protocol handling
@@ -313,12 +397,21 @@ class ResultCollector:
             return ok_response(metrics=self.registry.render())
         if op == "metrics_history":
             return metrics_history_response(self.history, request)
+        if op == "register":
+            return self._handle_register(request)
+        if op == "heartbeat":
+            return self._handle_heartbeat(request)
+        if op == "lease":
+            return self._handle_lease(request)
+        if op == "fleet_status":
+            return ok_response(**self.leases.fleet_status())
         if op == "shutdown":
             self.stop()
             return ok_response(stopping=True)
         return error_response(
             f"unknown op {op!r} (expected ping/push/status/report/"
-            f"metrics/metrics_history/shutdown)"
+            f"metrics/metrics_history/register/heartbeat/lease/"
+            f"fleet_status/shutdown)"
         )
 
     def _counters(self) -> dict[str, Any]:
@@ -328,8 +421,62 @@ class ResultCollector:
             "duplicates": self.duplicates,
             "dropped": self.dropped,
             "conflicts": self.conflicts,
+            "malformed_store_records": self.malformed_store_records,
             "store": str(self.store.path),
         }
+
+    # ------------------------------------------------------------------
+    # fleet verbs (the lease-based control plane)
+    # ------------------------------------------------------------------
+    def _handle_register(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker = request.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return error_response(
+                "register requires a non-empty 'worker' name string"
+            )
+        return ok_response(**self.leases.register(worker))
+
+    def _handle_heartbeat(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker_id = request.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            return error_response("heartbeat requires a 'worker_id' string")
+        beat = self.leases.heartbeat(worker_id)
+        if beat is None:
+            # Not an error: a restarted collector has an empty worker
+            # table, and the cure (re-register) belongs to the worker.
+            return ok_response(known=False)
+        return ok_response(known=True, **beat)
+
+    def _handle_lease(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker_id = request.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            return error_response("lease requires a 'worker_id' string")
+        fingerprints = request.get("fingerprints")
+        if not isinstance(fingerprints, list) or not all(
+            isinstance(item, str) and item for item in fingerprints
+        ):
+            return error_response(
+                "lease requires a 'fingerprints' list of cell fingerprint "
+                "strings (the worker's offered universe)"
+            )
+        limit = request.get("limit", DEFAULT_LEASE_BATCH)
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            return error_response(
+                f"lease: 'limit' must be a positive integer, got {limit!r}"
+            )
+        release = request.get("release", [])
+        if not isinstance(release, list) or not all(
+            isinstance(item, str) for item in release
+        ):
+            return error_response(
+                "lease: 'release' must be a list of fingerprint strings"
+            )
+        grant = self.leases.grant(
+            worker_id, fingerprints, limit=limit, release=release
+        )
+        if grant is None:
+            return ok_response(known=False, granted=[], done=False)
+        return ok_response(known=True, **grant)
 
     def _handle_push(self, request: dict[str, Any]) -> dict[str, Any]:
         records = request.get("records")

@@ -100,6 +100,39 @@ MAX_RESULT_RECORDS_IN_MEMORY = 10_000
 MAX_FINISHED_JOBS = 50
 
 
+def _int_tuple_field(name: str, value: Any) -> tuple[int, ...] | None:
+    """Coerce a submit list field (``sizes``/``seeds``) to an int tuple.
+
+    Raises :class:`ValueError` naming the field and the offending value,
+    so the submit handler answers a validation ``error_response`` like
+    every other parameter instead of letting a bare ``int(...)`` crash
+    escape as an opaque handler exception.  Empty/absent means "use the
+    suite's own sweep" (``None``); booleans are rejected — ``True`` is
+    an ``int`` to Python but never a sweep size anyone meant.
+    """
+    if value is None or value == []:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(
+            f"submit: {name!r} must be a list of integers, got {value!r}"
+        )
+    items = []
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, (int, float, str)):
+            raise ValueError(
+                f"submit: {name!r} must be a list of integers, "
+                f"got {item!r} in {value!r}"
+            )
+        try:
+            items.append(int(item))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"submit: {name!r} must be a list of integers, "
+                f"got {item!r} in {value!r}"
+            ) from None
+    return tuple(items)
+
+
 @dataclass
 class Job:
     """One queued/running/finished sweep request."""
@@ -128,7 +161,13 @@ class Job:
     results_truncated: bool = False
 
     def describe(self) -> dict[str, Any]:
-        """The status-verb view of the job (everything but the records)."""
+        """The status-verb view of the job (everything but the records).
+
+        Mutable fields are copied: connection threads serialise this
+        dict while the runner thread appends to ``failures``, so handing
+        out the live list would let ``json.dumps`` race a mutation.
+        Callers hold ``_jobs_lock`` so the copy is a consistent snapshot.
+        """
         return {
             "id": self.id,
             "suite": self.suite,
@@ -144,7 +183,7 @@ class Job:
             "skipped": self.skipped,
             "executed": self.executed,
             "unverified": self.unverified,
-            "failures": self.failures,
+            "failures": list(self.failures),
             "error": self.error,
             "sink_error": self.sink_error,
         }
@@ -405,18 +444,22 @@ class SweepDaemon:
                 ).inc(rounds)
             if not result.verified:
                 job.unverified += 1
-            if len(job.results) < MAX_RESULT_RECORDS_IN_MEMORY:
-                job.results.append(result.to_record())
-            else:
-                job.results_truncated = True
+            with self._jobs_lock:
+                if len(job.results) < MAX_RESULT_RECORDS_IN_MEMORY:
+                    job.results.append(result.to_record())
+                else:
+                    job.results_truncated = True
 
         def on_failure(cell, error: str) -> None:
-            job.failures.append({
-                "scenario": cell.scenario,
-                "n": cell.n,
-                "seed": cell.seed,
-                "error": error,
-            })
+            # Under the jobs lock: status/results handlers snapshot the
+            # job's mutable lists under the same lock.
+            with self._jobs_lock:
+                job.failures.append({
+                    "scenario": cell.scenario,
+                    "n": cell.n,
+                    "seed": cell.seed,
+                    "error": error,
+                })
 
         sink = None
         try:
@@ -516,8 +559,13 @@ class SweepDaemon:
                 f"unknown engine {engine!r} "
                 f"(expected one of: {', '.join(ENGINE_MODES)})"
             )
-        sizes = request.get("sizes")
-        seeds = request.get("seeds")
+        # Validate before taking the lock: a malformed value must answer
+        # a named validation error, never raise inside the handler.
+        try:
+            sizes = _int_tuple_field("sizes", request.get("sizes"))
+            seeds = _int_tuple_field("seeds", request.get("seeds"))
+        except ValueError as error:
+            return error_response(str(error))
         with self._jobs_lock:
             # Re-check under the lock: stop() also takes it, so a job
             # accepted here is enqueued before the flag can flip and the
@@ -530,8 +578,8 @@ class SweepDaemon:
                 id=f"job-{self._job_counter}",
                 suite=suite_name,
                 smoke=bool(request.get("smoke", False)),
-                sizes=tuple(int(n) for n in sizes) if sizes else None,
-                seeds=tuple(int(s) for s in seeds) if seeds else None,
+                sizes=sizes,
+                seeds=seeds,
                 shard=str(shard) if shard is not None else None,
                 out=str(request.get("out") or DEFAULT_OUT),
                 collector=str(collector) if collector is not None else None,
@@ -561,10 +609,14 @@ class SweepDaemon:
 
     def _handle_status(self, request: dict[str, Any]) -> dict[str, Any]:
         if "job" in request:
-            job = self._get_job(request)
-            if job is None:
-                return error_response(f"unknown job {request.get('job')!r}")
-            return ok_response(job=job.describe())
+            # Same lock as the all-jobs path: describe() snapshots
+            # mutable fields, and the snapshot is only consistent if the
+            # runner thread cannot mutate the job mid-copy.
+            with self._jobs_lock:
+                job = self._get_job(request)
+                if job is None:
+                    return error_response(f"unknown job {request.get('job')!r}")
+                return ok_response(job=job.describe())
         with self._jobs_lock:
             jobs = [job.describe() for job in self._jobs.values()]
         return ok_response(
@@ -576,16 +628,17 @@ class SweepDaemon:
         )
 
     def _handle_results(self, request: dict[str, Any]) -> dict[str, Any]:
-        job = self._get_job(request)
-        if job is None:
-            return error_response(f"unknown job {request.get('job')!r}")
-        return ok_response(
-            job=job.id,
-            state=job.state,
-            records=list(job.results),
-            truncated=job.results_truncated,
-            store=str(ResultStore(job.out).path),
-        )
+        with self._jobs_lock:
+            job = self._get_job(request)
+            if job is None:
+                return error_response(f"unknown job {request.get('job')!r}")
+            return ok_response(
+                job=job.id,
+                state=job.state,
+                records=list(job.results),
+                truncated=job.results_truncated,
+                store=str(ResultStore(job.out).path),
+            )
 
     def _handle_report(self, request: dict[str, Any]) -> dict[str, Any]:
         """Build the report bundle for a finished job, server-side.

@@ -44,6 +44,7 @@ from repro.experiments.runner import (
     SweepReport,
     SweepRunner,
     default_jobs,
+    make_recorder,
     run_cell,
 )
 from repro.experiments.spec import Cell, Suite
@@ -361,25 +362,13 @@ class WorkerPool:
             executed=0,
             unverified=0,
         )
-        live_sinks = list(sinks)
+        record = make_recorder(store, sinks, report, progress)
         for outcome in self.submit_sweep(suite.name, pending, engine=engine):
             if outcome.error is not None:
                 report.failures.append(CellFailure(outcome.cell, outcome.error))
                 if on_failure is not None:
                     on_failure(outcome.cell, outcome.error)
                 continue
-            store.append(outcome.result)
-            report.executed += 1
-            if not outcome.result.verified:
-                report.unverified += 1
-            if live_sinks:
-                try:
-                    for sink in live_sinks:
-                        sink(outcome.result)
-                except Exception as error:  # noqa: BLE001 - surfaced in report
-                    report.sink_error = repr(error)
-                    live_sinks.clear()
-            if progress is not None:
-                progress(outcome.result)
+            record(outcome.result)
         report.wall_clock_s = time.perf_counter() - start
         return report

@@ -56,6 +56,7 @@ __all__ = [
     "LineServer",
     "ProtocolError",
     "ServiceError",
+    "ServiceTransportError",
     "check_unix_socket_path",
     "connect_endpoint",
     "error_response",
@@ -92,6 +93,18 @@ class ProtocolError(RuntimeError):
 class ServiceError(RuntimeError):
     """A service-level failure: the peer answered ``ok: false``, could not
     be reached, or a server could not come up on its endpoint."""
+
+
+class ServiceTransportError(ServiceError):
+    """The transport failed underneath a request: connect, send or
+    receive died, or the peer closed without answering.
+
+    Distinct from the base :class:`ServiceError` raised for an
+    ``ok: false`` *response*: an error response arrives over a healthy
+    connection, so retrying it on a fresh connection just repeats the
+    same doomed request.  Streaming callers (``CollectorSink``)
+    reconnect-and-retry on this subclass only and propagate server
+    error responses untouched."""
 
 
 def send_message(sock: socket.socket, payload: dict[str, Any]) -> None:

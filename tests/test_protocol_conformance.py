@@ -587,6 +587,129 @@ class TestMetricsVerb:
             for sample in samples
         )
 
+class TestFleetVerbsConformance:
+    """The fleet control-plane verbs (``register`` / ``heartbeat`` /
+    ``lease`` / ``fleet_status``) speak the same one-line contract on
+    both transports, with TCP auth and typed-parameter validation."""
+
+    @pytest.fixture()
+    def collector(self, transport, tmp_path):
+        from repro.service.collector import ResultCollector
+
+        if transport == "unix":
+            served = ResultCollector(
+                out=tmp_path / "store",
+                socket_path=tmp_path / "fleet.sock",
+                token=TOKEN,
+            )
+            served.start()
+            endpoint = parse_endpoint(tmp_path / "fleet.sock")
+        else:
+            served = ResultCollector(
+                out=tmp_path / "store", listen="127.0.0.1:0", token=TOKEN
+            )
+            served.start()
+            host, port = served.tcp_address
+            endpoint = parse_endpoint(f"{host}:{port}")
+        yield served, endpoint
+        served.close()
+
+    @staticmethod
+    def ask(endpoint, payload):
+        sock = open_connection(endpoint)
+        try:
+            with sock.makefile("rb") as reader:
+                sock.sendall(framed(payload, endpoint))
+                return recv_message(reader)
+        finally:
+            sock.close()
+
+    def test_full_lifecycle_round_trips(self, collector):
+        _, endpoint = collector
+        registered = self.ask(endpoint, {"op": "register", "worker": "w1"})
+        assert registered["ok"] is True
+        worker_id = registered["worker_id"]
+        assert registered["heartbeat_interval_s"] > 0
+        assert registered["lease_ttl_s"] >= registered["heartbeat_interval_s"]
+
+        beat = self.ask(endpoint, {"op": "heartbeat", "worker_id": worker_id})
+        assert beat["ok"] is True and beat["known"] is True
+
+        grant = self.ask(endpoint, {
+            "op": "lease", "worker_id": worker_id,
+            "fingerprints": ["fp-a", "fp-b"], "limit": 1,
+        })
+        assert grant["ok"] is True and grant["known"] is True
+        assert grant["granted"] == ["fp-a"]
+        assert grant["done"] is False
+
+        status = self.ask(endpoint, {"op": "fleet_status"})
+        assert status["ok"] is True
+        assert status["active_leases"] == 1
+        assert [w["worker_id"] for w in status["workers"]] == [worker_id]
+
+    def test_unknown_ids_answer_known_false_not_error(self, collector):
+        _, endpoint = collector
+        beat = self.ask(endpoint, {"op": "heartbeat", "worker_id": "worker-9"})
+        assert beat["ok"] is True and beat["known"] is False
+        grant = self.ask(endpoint, {
+            "op": "lease", "worker_id": "worker-9", "fingerprints": ["fp"],
+        })
+        assert grant["ok"] is True and grant["known"] is False
+        assert grant["granted"] == []
+
+    @pytest.mark.parametrize("payload,match", [
+        ({"op": "register"}, "worker"),
+        ({"op": "register", "worker": ""}, "worker"),
+        ({"op": "register", "worker": ["w"]}, "worker"),
+        ({"op": "heartbeat"}, "worker_id"),
+        ({"op": "heartbeat", "worker_id": None}, "worker_id"),
+        ({"op": "lease", "worker_id": "w"}, "fingerprints"),
+        ({"op": "lease", "worker_id": "w", "fingerprints": {"fp": 1}},
+         "fingerprints"),
+        ({"op": "lease", "worker_id": "w", "fingerprints": [""]},
+         "fingerprints"),
+        ({"op": "lease", "worker_id": "w", "fingerprints": [], "limit": -2},
+         "limit"),
+        ({"op": "lease", "worker_id": "w", "fingerprints": [],
+          "limit": "ten"}, "limit"),
+        ({"op": "lease", "worker_id": "w", "fingerprints": [],
+          "release": [3]}, "release"),
+    ])
+    def test_malformed_parameters_are_error_responses(
+        self, collector, payload, match
+    ):
+        _, endpoint = collector
+        response = self.ask(endpoint, payload)
+        assert response["ok"] is False
+        assert match in response["error"]
+
+    @pytest.mark.parametrize("op", [
+        "register", "heartbeat", "lease", "fleet_status",
+    ])
+    def test_tcp_requires_auth(self, tmp_path, op):
+        from repro.service.collector import ResultCollector
+
+        served = ResultCollector(
+            out=tmp_path / "store", listen="127.0.0.1:0", token=TOKEN
+        )
+        served.start()
+        try:
+            host, port = served.tcp_address
+            sock = open_connection(parse_endpoint(f"{host}:{port}"))
+            try:
+                sock.sendall(json.dumps({"op": op}).encode() + b"\n")
+                with sock.makefile("rb") as reader:
+                    response = recv_message(reader)
+                    assert response["ok"] is False
+                    assert "authentication failed" in response["error"]
+                    assert recv_message(reader) is None
+            finally:
+                sock.close()
+        finally:
+            served.close()
+
+
 class TestMetricsHistoryVerb:
     """The ``metrics_history`` verb serves the retained scrape ring
     buffer on both transports, with TCP auth and a bounded response."""

@@ -95,6 +95,47 @@ class TestVerbs:
         with pytest.raises(ServiceError, match="unknown engine"):
             client.submit("paper-claims", engine="warp")
 
+    @pytest.mark.parametrize("field,value", [
+        ("sizes", "24"),          # not a list at all
+        ("sizes", {"n": 24}),
+        ("sizes", [24, "big"]),   # an uncoercible element
+        ("sizes", [True]),        # bools are not sizes
+        ("sizes", [None]),
+        ("seeds", 7),
+        ("seeds", ["one"]),
+        ("seeds", [1, False]),
+    ])
+    def test_submit_bad_sizes_and_seeds_fail_fast(self, client, field, value):
+        """Malformed sweep overrides are rejected at submit time with an
+        error naming the field — not accepted into the queue to fail
+        minutes later inside the job runner."""
+        with pytest.raises(ServiceError, match=field):
+            client.request({
+                "op": "submit", "suite": "paper-claims", field: value,
+            })
+        assert client.status()["jobs"] == []
+
+    def test_submit_coerces_numeric_size_and_seed_strings(self, client, tmp_path):
+        job = client.request({
+            "op": "submit", "suite": "paper-claims", "smoke": True,
+            "sizes": ["96", 128.0], "seeds": [1],
+            "out": str(tmp_path / "coerced"),
+        })["job"]
+        status = client.wait(job, timeout=120)
+        assert status["state"] == "done"
+        assert status["sizes"] == [96, 128]
+        assert status["seeds"] == [1]
+
+    def test_describe_hands_out_a_snapshot_not_the_live_list(self):
+        from repro.service.daemon import Job
+
+        job = Job(id="job-1", suite="paper-claims")
+        job.failures.append({"scenario": "s", "n": 1, "seed": 1, "error": "x"})
+        snapshot = job.describe()
+        snapshot["failures"].append({"scenario": "intruder"})
+        assert len(job.failures) == 1
+        assert len(job.describe()["failures"]) == 1
+
     def test_submit_with_engine_threads_through_to_records(self, client, tmp_path):
         out = tmp_path / "store"
         job = client.submit(
